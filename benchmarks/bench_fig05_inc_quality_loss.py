@@ -1,0 +1,51 @@
+"""Figure 5: INC's quality-loss versus matrix index (Wiki and DBLP).
+
+The paper shows that when the Markowitz ordering of the *first* matrix is
+reused for the whole sequence (INC), its quality-loss grows steadily as the
+matrices drift away from ``A_1``.  This benchmark reproduces both panels:
+the per-index quality-loss series of INC on the Wiki and DBLP workloads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _shared import dblp_runner, single_run, wiki_runner
+from repro.bench.reporting import print_header, series_table
+from repro.core.inc import decompose_sequence_inc
+
+
+def _inc_quality_series(runner):
+    matrices = runner.workload.matrices
+    result = decompose_sequence_inc(matrices)
+    return result.quality_losses(matrices, runner.reference)
+
+
+def test_fig05a_wiki_inc_quality_loss(benchmark):
+    """Figure 5(a): INC quality-loss vs matrix index on the Wiki workload."""
+    losses = single_run(benchmark, _inc_quality_series, wiki_runner())
+
+    print_header("Figure 5(a): INC quality-loss vs matrix index (Wiki)")
+    print(series_table("matrix_index", list(range(len(losses))), {"quality_loss": losses}))
+    print(f"\naverage quality-loss = {np.mean(losses):.4f}, final = {losses[-1]:.4f}")
+
+    # The defining shape: quality degrades along the sequence.
+    first_half = np.mean(losses[: len(losses) // 2])
+    second_half = np.mean(losses[len(losses) // 2:])
+    assert losses[0] <= 1e-9                  # A_1 is Markowitz-ordered exactly
+    assert second_half > first_half           # loss grows with the index
+    assert losses[-1] > losses[1]
+
+
+def test_fig05b_dblp_inc_quality_loss(benchmark):
+    """Figure 5(b): INC quality-loss vs matrix index on the DBLP workload."""
+    losses = single_run(benchmark, _inc_quality_series, dblp_runner())
+
+    print_header("Figure 5(b): INC quality-loss vs matrix index (DBLP)")
+    print(series_table("matrix_index", list(range(len(losses))), {"quality_loss": losses}))
+    print(f"\naverage quality-loss = {np.mean(losses):.4f}, final = {losses[-1]:.4f}")
+
+    first_half = np.mean(losses[: len(losses) // 2])
+    second_half = np.mean(losses[len(losses) // 2:])
+    assert losses[0] <= 1e-9
+    assert second_half >= first_half

@@ -1,0 +1,76 @@
+"""Figure 8: CLUDE's execution-time breakdown and the Bennett-time comparison.
+
+Figure 8(a) of the paper splits CLUDE's execution time into clustering time,
+Markowitz (ordering) time, full LU decomposition time and Bennett
+(incremental update) time as α varies: clustering is negligible, ordering and
+full-decomposition time grow with α (more clusters), and Bennett time shrinks
+(better orderings) while remaining the dominant component around the best α.
+Figure 8(b) compares the Bennett time of CINC and CLUDE head-to-head — the
+static universal structure makes CLUDE's incremental updates much cheaper.
+"""
+
+from __future__ import annotations
+
+from _shared import ALPHAS, alpha_sweep, series_from_reports, single_run
+from repro.bench.reporting import print_header, series_table
+
+
+def _sweep():
+    return {
+        "CLUDE": alpha_sweep("wiki", "CLUDE"),
+        "CINC": alpha_sweep("wiki", "CINC"),
+    }
+
+
+def test_fig08a_clude_time_breakdown(benchmark):
+    """Figure 8(a): CLUDE execution-time components vs alpha (Wiki)."""
+    sweeps = single_run(benchmark, _sweep)
+    clude = sweeps["CLUDE"]
+
+    components = {
+        "total": series_from_reports(clude, "total_time"),
+        "clustering": series_from_reports(clude, "clustering_time"),
+        "markowitz": series_from_reports(clude, "ordering_time"),
+        "full_lu": series_from_reports(clude, "decomposition_time"),
+        "bennett": series_from_reports(clude, "bennett_time"),
+        "symbolic": series_from_reports(clude, "symbolic_time"),
+    }
+    print_header("Figure 8(a): CLUDE execution-time breakdown vs alpha (Wiki, seconds)")
+    print(series_table("alpha", ALPHAS, components))
+
+    # Clustering time is negligible compared with the total.
+    assert all(c <= 0.25 * t for c, t in zip(components["clustering"], components["total"]))
+    # Ordering + full decomposition time does not decrease as alpha grows
+    # (more clusters => more orderings/decompositions), comparing extremes.
+    fixed_cost_low = components["markowitz"][0] + components["full_lu"][0]
+    fixed_cost_high = components["markowitz"][-1] + components["full_lu"][-1]
+    assert fixed_cost_high >= fixed_cost_low * 0.9
+    # Bennett time is the dominant incremental component at the loosest alpha.
+    assert components["bennett"][0] >= components["clustering"][0]
+
+
+def test_fig08b_bennett_time_cinc_vs_clude(benchmark):
+    """Figure 8(b): Bennett time of CINC vs CLUDE (Wiki)."""
+    sweeps = single_run(benchmark, _sweep)
+    cinc_bennett = series_from_reports(sweeps["CINC"], "bennett_time")
+    clude_bennett = series_from_reports(sweeps["CLUDE"], "bennett_time")
+
+    print_header("Figure 8(b): Bennett time (seconds) — CINC vs CLUDE (Wiki)")
+    print(series_table("alpha", ALPHAS, {"CINC": cinc_bennett, "CLUDE": clude_bennett}))
+    ratios = [c / max(k, 1e-9) for c, k in zip(cinc_bennett, clude_bennett)]
+    print(f"\nCINC / CLUDE Bennett-time ratios: {[round(r, 2) for r in ratios]}")
+
+    # The static structure must make CLUDE's incremental updates clearly
+    # cheaper than CINC's dynamic adjacency lists wherever incremental work
+    # actually happens (at alpha = 1.0 every cluster is a singleton and both
+    # Bennett times are zero).
+    compared = 0
+    for cinc_time, clude_time in zip(cinc_bennett, clude_bennett):
+        if cinc_time > 0.0:
+            assert clude_time < cinc_time
+            compared += 1
+    assert compared >= 2
+
+    structural_cinc = series_from_reports(sweeps["CINC"], "structural_ops")
+    assert any(ops > 0 for ops in structural_cinc)
+    assert all(ops == 0 for ops in series_from_reports(sweeps["CLUDE"], "structural_ops"))

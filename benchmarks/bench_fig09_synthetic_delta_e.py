@@ -1,0 +1,69 @@
+"""Figure 9: sensitivity to the per-snapshot edge-change budget ΔE (synthetic).
+
+The paper varies ΔE of the synthetic generator and shows (a) INC's quality
+degrades with ΔE while the cluster-based algorithms stay flat and adaptive,
+and (b) everyone's speedup shrinks as ΔE grows, with CLUDE remaining on top.
+"""
+
+from __future__ import annotations
+
+import functools
+
+from _shared import DELTA_ES, single_run
+from repro.bench.reporting import print_header, series_table
+from repro.bench.runner import WorkloadRunner
+from repro.bench.workloads import synthetic_workload_with_delta
+
+
+@functools.lru_cache(maxsize=None)
+def _reports_for_delta(delta_edges: int):
+    workload = synthetic_workload_with_delta(
+        delta_edges=delta_edges, nodes=240, snapshots=16, seed=7
+    )
+    runner = WorkloadRunner(workload)
+    return {
+        "INC": runner.evaluate("INC"),
+        "CINC": runner.evaluate("CINC", alpha=0.95),
+        "CLUDE": runner.evaluate("CLUDE", alpha=0.95),
+    }
+
+
+def _sweep():
+    return {delta: _reports_for_delta(delta) for delta in DELTA_ES}
+
+
+def test_fig09a_quality_vs_delta_e(benchmark):
+    """Figure 9(a): average quality-loss vs ΔE."""
+    by_delta = single_run(benchmark, _sweep)
+    series = {
+        name: [by_delta[delta][name].average_quality_loss for delta in DELTA_ES]
+        for name in ("INC", "CINC", "CLUDE")
+    }
+    print_header("Figure 9(a): average quality-loss vs delta-E (synthetic)")
+    print(series_table("delta_E", DELTA_ES, series))
+
+    # Shapes: INC degrades as the churn grows; the cluster-based methods adapt
+    # and stay below INC; CLUDE is at least as good as CINC.
+    assert series["INC"][-1] > series["INC"][0]
+    for inc, cinc, clude in zip(series["INC"], series["CINC"], series["CLUDE"]):
+        assert clude <= cinc + 1e-9
+        assert clude <= inc + 1e-9
+    assert max(series["CLUDE"]) - min(series["CLUDE"]) <= max(series["INC"]) - min(series["INC"])
+
+
+def test_fig09b_speedup_vs_delta_e(benchmark):
+    """Figure 9(b): speedup over BF vs ΔE."""
+    by_delta = single_run(benchmark, _sweep)
+    series = {
+        name: [by_delta[delta][name].speedup for delta in DELTA_ES]
+        for name in ("INC", "CINC", "CLUDE")
+    }
+    print_header("Figure 9(b): speedup over BF vs delta-E (synthetic)")
+    print(series_table("delta_E", DELTA_ES, series))
+
+    # Shapes: CLUDE is the fastest method at every churn level, and incremental
+    # updates get less attractive as the churn per snapshot grows.
+    for inc, cinc, clude in zip(series["INC"], series["CINC"], series["CLUDE"]):
+        assert clude >= cinc - 1e-9
+        assert clude >= inc - 1e-9
+    assert series["CLUDE"][-1] <= series["CLUDE"][0]

@@ -1,0 +1,60 @@
+"""Figure 10: the LUDEM-QC problem — quality and speedup versus β (DBLP).
+
+For symmetric matrices the quality-loss of a candidate ordering can be
+checked cheaply, so CINC and CLUDE can enforce ``ql(O_i, A_i) <= β`` through
+their β-clustering variants (Algorithms 4 and 5).  The paper's Figure 10
+shows both algorithms staying within the requirement, trading quality for
+speed as β grows, with CLUDE giving the better quality and higher speedup.
+"""
+
+from __future__ import annotations
+
+from _shared import BETAS, beta_sweep, dblp_qc_runner, single_run
+from repro.bench.reporting import print_header, series_table
+
+
+def _sweep():
+    return {
+        "CINC-QC": beta_sweep("CINC"),
+        "CLUDE-QC": beta_sweep("CLUDE"),
+        "INC": dblp_qc_runner().evaluate("INC"),
+    }
+
+
+def test_fig10a_quality_vs_beta(benchmark):
+    """Figure 10(a): average quality-loss vs β."""
+    sweeps = single_run(benchmark, _sweep)
+    cinc = [report.average_quality_loss for report in sweeps["CINC-QC"]]
+    clude = [report.average_quality_loss for report in sweeps["CLUDE-QC"]]
+
+    print_header("Figure 10(a): average quality-loss vs quality requirement beta (DBLP)")
+    print(series_table("beta", BETAS, {"CINC-QC": cinc, "CLUDE-QC": clude}))
+
+    # The constraint must hold everywhere, quality-loss grows with beta
+    # (bigger clusters tolerated), and CLUDE's quality is at least as good.
+    for beta, cinc_loss, clude_loss in zip(BETAS, cinc, clude):
+        assert cinc_loss <= beta + 1e-9
+        assert clude_loss <= beta + 1e-9
+    assert clude[-1] >= clude[0] - 1e-9
+    assert sum(clude) <= sum(cinc) + 1e-9
+
+
+def test_fig10b_speedup_vs_beta(benchmark):
+    """Figure 10(b): speedup over BF vs β."""
+    sweeps = single_run(benchmark, _sweep)
+    cinc = [report.speedup for report in sweeps["CINC-QC"]]
+    clude = [report.speedup for report in sweeps["CLUDE-QC"]]
+    inc_speedup = sweeps["INC"].speedup
+    clusters_clude = [report.cluster_count for report in sweeps["CLUDE-QC"]]
+
+    print_header("Figure 10(b): speedup over BF vs quality requirement beta (DBLP)")
+    print(series_table("beta", BETAS, {"CINC-QC": cinc, "CLUDE-QC": clude}))
+    print(f"\nINC speedup (reference): {inc_speedup:.2f}")
+    print(f"CLUDE-QC cluster counts across beta: {clusters_clude}")
+
+    # A looser requirement allows bigger clusters: cluster count must not grow
+    # with beta, and the loosest setting must not be slower than the tightest.
+    assert clusters_clude[-1] <= clusters_clude[0]
+    assert clude[-1] >= clude[0] * 0.8
+    # CLUDE's decomposition phase is never slower than CINC's at the loosest beta.
+    assert clude[-1] >= cinc[-1] * 0.8

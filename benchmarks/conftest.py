@@ -1,0 +1,10 @@
+"""Pytest configuration for the benchmark suite."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+# Make the sibling `_shared` module importable regardless of how pytest was
+# invoked (rootdir vs. benchmarks directory).
+sys.path.insert(0, str(Path(__file__).resolve().parent))

@@ -1,0 +1,62 @@
+"""Time-series link prediction with Random Walk with Restart (paper Example 3).
+
+Classical link prediction ranks candidate endpoints by a proximity measure on
+a single snapshot.  Once the whole matrix sequence is LU-decomposed (cheap
+with CLUDE), the proximity of every candidate is available at *every*
+snapshot, and the trend of the proximity becomes an extra predictive signal.
+This example builds a synthetic evolving graph, hides the last snapshot, and
+compares the trend-aware predictions against the edges that actually appear.
+
+Run with::
+
+    python examples/link_prediction.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import predict_links
+from repro.graphs import EvolvingGraphSequence
+from repro.graphs.generators import generate_synthetic_egs, SyntheticEGSConfig
+
+
+def main() -> None:
+    config = SyntheticEGSConfig(
+        nodes=120, edge_pool_size=1100, average_degree=4, delta_edges=24,
+        snapshots=16, seed=21,
+    )
+    egs = generate_synthetic_egs(config)
+
+    # Hide the final snapshot; it is the "future" we try to predict.
+    observed = egs.subsequence(0, len(egs) - 1)
+    future = egs[len(egs) - 1]
+    print(f"Observed {len(observed)} snapshots of {egs.n} nodes; predicting snapshot {len(egs) - 1}")
+
+    hits = 0
+    evaluated = 0
+    for source in range(0, 30, 3):
+        predictions = predict_links(
+            observed, source=source, top_k=5, algorithm="CLUDE", alpha=0.9
+        )
+        if not predictions:
+            continue
+        new_edges = future.successors(source) - observed[len(observed) - 1].successors(source)
+        predicted_targets = [prediction.target for prediction in predictions]
+        overlap = new_edges & set(predicted_targets)
+        evaluated += 1
+        if overlap or not new_edges:
+            hits += 1
+        print(
+            f"node {source:3d}: predicted {predicted_targets} "
+            f"| new edges next day {sorted(new_edges) if new_edges else '(none)'} "
+            f"| hit={'yes' if overlap else ('n/a' if not new_edges else 'no')}"
+        )
+        top = predictions[0]
+        print(
+            f"          top candidate {top.target}: current RWR {top.current_score:.5f}, "
+            f"trend {top.trend:+.2e}, combined score {top.combined_score:.5f}"
+        )
+    print(f"\nSources with a correct (or trivially satisfied) prediction: {hits}/{evaluated}")
+
+
+if __name__ == "__main__":
+    main()

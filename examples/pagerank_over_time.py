@@ -1,0 +1,67 @@
+"""PageRank of a tracked page over an evolving Wikipedia-like graph (paper Figure 1).
+
+The paper's motivating example tracks the PageRank score of one Wikipedia
+page over 1000 daily snapshots and investigates the "key moments" at which
+the score jumps or drops (new links from prominent pages, an endorser
+diluting its outgoing links, a slow decline).  This example reproduces that
+workflow on the simulated Wikipedia dataset: the whole matrix sequence is
+decomposed once with CLUDE, the PageRank series of the tracked page is
+extracted, and the step changes / trends are detected automatically.
+
+Run with::
+
+    python examples/pagerank_over_time.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import detect_step_changes, detect_trends, summarize_moments
+from repro.datasets import WikiConfig, generate_wiki_egs
+from repro.measures import MeasureSeries
+
+
+def render_ascii_series(values, width: int = 60, height: int = 12) -> str:
+    """Render a time series as a small ASCII chart (stand-in for Figure 1)."""
+    values = np.asarray(values, dtype=float)
+    low, high = float(np.min(values)), float(np.max(values))
+    span = (high - low) or 1.0
+    columns = np.linspace(0, len(values) - 1, num=min(width, len(values))).astype(int)
+    sampled = values[columns]
+    rows = []
+    for level in range(height, -1, -1):
+        threshold = low + span * level / height
+        row = "".join("*" if value >= threshold else " " for value in sampled)
+        rows.append(f"{threshold:10.6f} |{row}")
+    rows.append(" " * 11 + "+" + "-" * len(sampled))
+    return "\n".join(rows)
+
+
+def main() -> None:
+    config = WikiConfig(pages=150, snapshots=40, initial_links=800, final_links=1700,
+                        churn_per_day=4, tracked_page=17, event_gain_day=10,
+                        event_dilute_day=25, seed=42)
+    egs = generate_wiki_egs(config)
+    print(f"Simulated Wikipedia EGS: {len(egs)} daily snapshots, {egs.n} pages")
+
+    series = MeasureSeries(egs, damping=0.85, algorithm="CLUDE", alpha=0.95)
+    tracked = config.tracked_page
+    pagerank = series.pagerank([tracked])[:, 0]
+
+    print(f"\nPageRank of page {tracked} over time (cf. paper Figure 1):")
+    print(render_ascii_series(pagerank))
+
+    steps = detect_step_changes(pagerank, relative_threshold=0.12)
+    trends = detect_trends(pagerank, window=8, relative_threshold=0.15)
+    print("\nKey moments (step changes):", summarize_moments(steps))
+    print("Sustained trends:          ", summarize_moments(trends))
+    print(
+        f"\nScripted events were injected at snapshots #{config.event_gain_day} "
+        f"(two prominent pages link to page {tracked}) and #{config.event_dilute_day} "
+        "(the main endorser adds many outgoing links)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Company proximity over a patent citation sequence (paper Section 7, Figure 11).
+
+The paper's case study seeds Personalized PageRank at one company's patents
+(IBM) and sums the scores of every other company's patents, year by year, to
+see whose technology the focal company increasingly depends on.  The company
+whose rank climbs steadily (Harris, in the paper) signalled a coming alliance.
+This example runs the same analysis on the simulated patent dataset, where a
+designated "RISING" company plays the Harris role.
+
+Run with::
+
+    python examples/patent_case_study.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import proximity_rankings
+from repro.datasets import load_patent
+
+
+def main() -> None:
+    dataset = load_patent("small")
+    egs = dataset.egs
+    print(
+        f"Patent citation EGS: {len(egs)} yearly snapshots, {egs.n} patents, "
+        f"{len(dataset.company_names)} companies"
+    )
+    print(f"Focal company: {dataset.company_names[dataset.focal_company]}")
+
+    rankings = proximity_rankings(dataset, damping=0.85, algorithm="CLUDE", alpha=0.9)
+
+    header = "year  " + "  ".join(f"{name:>14s}" for name in rankings.company_names)
+    print("\nProximity rank of each company w.r.t. the focal company (1 = closest):")
+    print(header)
+    print("-" * len(header))
+    for year, year_ranks in enumerate(rankings.ranks):
+        cells = "  ".join(f"{rank:>14d}" for rank in year_ranks)
+        print(f"{year:4d}  {cells}")
+
+    rising_index = rankings.company_names.index("RISING")
+    series = rankings.rank_series(rising_index)
+    print(
+        f"\nThe RISING company's rank moved from {series[0]} to {series[-1]} "
+        f"over {len(series)} years "
+        f"({'steadily rising' if rankings.is_steadily_rising(rising_index) else 'not monotone'})."
+    )
+    print("In the paper this trajectory foreshadowed the IBM-Harris technology alliance.")
+
+
+if __name__ == "__main__":
+    main()

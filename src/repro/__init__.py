@@ -1,0 +1,42 @@
+"""repro — a reproduction of CLUDE (EDBT 2014).
+
+CLUDE decomposes every matrix of an *evolving matrix sequence* into LU
+factors quickly and with few fill-ins, by clustering similar snapshots,
+ordering each cluster by its union matrix, and reusing one static data
+structure (built from the cluster's universal symbolic sparsity pattern) for
+Bennett-style incremental updates.
+
+Typical usage::
+
+    from repro import EMSSolver, EvolvingMatrixSequence
+    from repro.datasets import load_wiki
+
+    egs = load_wiki("tiny")
+    ems = EvolvingMatrixSequence.from_graphs(egs)
+    solver = EMSSolver(ems, algorithm="CLUDE", alpha=0.95)
+    series = solver.solve_series(b)          # one solve per snapshot
+"""
+
+from repro.core.solver import EMSSolver, available_algorithms
+from repro.graphs.egs import EvolvingGraphSequence
+from repro.graphs.ems import EvolvingMatrixSequence
+from repro.graphs.matrixkind import MatrixKind
+from repro.graphs.snapshot import GraphSnapshot
+from repro.sparse.csr import SparseMatrix
+from repro.sparse.pattern import SparsityPattern
+from repro.sparse.permutation import Ordering, Permutation
+from repro.version import __version__
+
+__all__ = [
+    "__version__",
+    "SparseMatrix",
+    "SparsityPattern",
+    "Ordering",
+    "Permutation",
+    "GraphSnapshot",
+    "EvolvingGraphSequence",
+    "EvolvingMatrixSequence",
+    "MatrixKind",
+    "EMSSolver",
+    "available_algorithms",
+]

@@ -1,0 +1,22 @@
+"""Analysis utilities built on measure time series (key moments, proximity, link prediction)."""
+
+from repro.analysis.keymoments import (
+    KeyMoment,
+    detect_step_changes,
+    detect_trends,
+    summarize_moments,
+)
+from repro.analysis.linkpred import LinkPrediction, predict_links, proximity_trend
+from repro.analysis.proximity import ProximityRankings, proximity_rankings
+
+__all__ = [
+    "KeyMoment",
+    "detect_step_changes",
+    "detect_trends",
+    "summarize_moments",
+    "LinkPrediction",
+    "predict_links",
+    "proximity_trend",
+    "ProximityRankings",
+    "proximity_rankings",
+]

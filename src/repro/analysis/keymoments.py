@@ -1,0 +1,112 @@
+"""Key-moment detection in measure time series.
+
+The paper's Example 1 motivates computing a measure over a whole EGS so that
+"key moments" — snapshots where the measure changes sharply — can be
+identified and investigated.  This module provides simple, dependency-free
+detectors for such moments: large one-step relative changes (spikes and
+drops) and sustained monotone trends (gradual decline/rise over a window).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import MeasureError
+
+
+@dataclasses.dataclass(frozen=True)
+class KeyMoment:
+    """A detected key moment in a time series.
+
+    Attributes
+    ----------
+    index:
+        Snapshot index at which the event is detected.
+    kind:
+        ``"rise"`` or ``"drop"`` for step changes, ``"uptrend"`` /
+        ``"downtrend"`` for sustained moves.
+    magnitude:
+        Relative change associated with the event (positive for rises).
+    """
+
+    index: int
+    kind: str
+    magnitude: float
+
+
+def detect_step_changes(
+    series: Sequence[float], relative_threshold: float = 0.15
+) -> List[KeyMoment]:
+    """Detect one-step rises/drops whose relative magnitude exceeds a threshold.
+
+    Parameters
+    ----------
+    series:
+        The measure values over time.
+    relative_threshold:
+        Minimum ``|x_t - x_{t-1}| / max(|x_{t-1}|, eps)`` to report.
+    """
+    values = np.asarray(series, dtype=float)
+    if values.ndim != 1:
+        raise MeasureError("series must be one-dimensional")
+    if relative_threshold <= 0:
+        raise MeasureError("relative_threshold must be positive")
+    moments: List[KeyMoment] = []
+    eps = 1e-12
+    for index in range(1, values.size):
+        previous = values[index - 1]
+        change = (values[index] - previous) / max(abs(previous), eps)
+        if change >= relative_threshold:
+            moments.append(KeyMoment(index=index, kind="rise", magnitude=float(change)))
+        elif change <= -relative_threshold:
+            moments.append(KeyMoment(index=index, kind="drop", magnitude=float(change)))
+    return moments
+
+
+def detect_trends(
+    series: Sequence[float],
+    window: int = 10,
+    relative_threshold: float = 0.2,
+) -> List[KeyMoment]:
+    """Detect sustained monotone moves over a sliding window.
+
+    A window qualifies when the series moves monotonically (allowing small
+    wiggles below 10% of the total move) and the total relative change over
+    the window exceeds ``relative_threshold``.  Overlapping windows are
+    merged; the reported index is the window start.
+    """
+    values = np.asarray(series, dtype=float)
+    if window < 2:
+        raise MeasureError("window must be at least 2")
+    moments: List[KeyMoment] = []
+    eps = 1e-12
+    last_reported_end = -1
+    for start in range(0, values.size - window):
+        end = start + window
+        if start < last_reported_end:
+            continue
+        segment = values[start:end + 1]
+        total_change = (segment[-1] - segment[0]) / max(abs(segment[0]), eps)
+        if abs(total_change) < relative_threshold:
+            continue
+        steps = np.diff(segment)
+        if total_change > 0 and np.sum(steps < 0) <= window * 0.2:
+            moments.append(KeyMoment(index=start, kind="uptrend", magnitude=float(total_change)))
+            last_reported_end = end
+        elif total_change < 0 and np.sum(steps > 0) <= window * 0.2:
+            moments.append(KeyMoment(index=start, kind="downtrend", magnitude=float(total_change)))
+            last_reported_end = end
+    return moments
+
+
+def summarize_moments(moments: Sequence[KeyMoment]) -> str:
+    """Return a short human-readable summary of detected key moments."""
+    if not moments:
+        return "no key moments detected"
+    parts = [
+        f"#{moment.index}: {moment.kind} ({moment.magnitude:+.1%})" for moment in moments
+    ]
+    return "; ".join(parts)

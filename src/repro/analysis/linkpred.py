@@ -1,0 +1,128 @@
+"""Time-series-based link prediction (paper Example 3).
+
+Classical link prediction scores node pairs on a *single* snapshot with a
+proximity measure such as RWR.  With measure *time series* available for
+every snapshot (cheap once the EMS is LU-decomposed), the trend of the
+proximity becomes an additional signal: pairs whose proximity is rising are
+more likely to connect.  This module implements that simple trend-aware
+predictor.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import MeasureError
+from repro.graphs.egs import EvolvingGraphSequence
+from repro.graphs.matrixkind import DEFAULT_DAMPING
+from repro.measures.timeseries import MeasureSeries
+
+
+@dataclasses.dataclass(frozen=True)
+class LinkPrediction:
+    """One predicted link with its scores.
+
+    Attributes
+    ----------
+    source, target:
+        The predicted endpoints.
+    current_score:
+        RWR proximity at the latest snapshot.
+    trend:
+        Least-squares slope of the proximity over the observed window.
+    combined_score:
+        The ranking score (current proximity plus weighted positive trend).
+    """
+
+    source: int
+    target: int
+    current_score: float
+    trend: float
+    combined_score: float
+
+
+def proximity_trend(series: Sequence[float]) -> float:
+    """Return the least-squares slope of a proximity time series."""
+    values = np.asarray(series, dtype=float)
+    if values.size < 2:
+        return 0.0
+    steps = np.arange(values.size, dtype=float)
+    slope = np.polyfit(steps, values, deg=1)[0]
+    return float(slope)
+
+
+def predict_links(
+    egs: EvolvingGraphSequence,
+    source: int,
+    top_k: int = 5,
+    damping: float = DEFAULT_DAMPING,
+    trend_weight: float = 0.5,
+    window: Optional[int] = None,
+    algorithm: str = "CLUDE",
+    alpha: float = 0.9,
+    candidates: Optional[Sequence[int]] = None,
+) -> List[LinkPrediction]:
+    """Predict the most likely future out-neighbours of ``source``.
+
+    Parameters
+    ----------
+    egs:
+        The observed evolving graph sequence.
+    source:
+        The node whose future links are predicted.
+    top_k:
+        Number of predictions to return.
+    damping:
+        RWR damping factor.
+    trend_weight:
+        How strongly a rising trend boosts the ranking score.  The trend is
+        normalized by the mean proximity so the weight is scale-free.
+    window:
+        Number of most recent snapshots to use (default: all).
+    algorithm, alpha:
+        LUDEM algorithm settings for decomposing the matrix sequence.
+    candidates:
+        Optional restriction of candidate targets; defaults to every node not
+        already linked from ``source`` in the final snapshot.
+    """
+    if not 0 <= source < egs.n:
+        raise MeasureError(f"source node {source} out of bounds for n={egs.n}")
+    if top_k <= 0:
+        return []
+
+    series = MeasureSeries(egs, damping=damping, algorithm=algorithm, alpha=alpha)
+    all_scores = series.rwr(source)
+    if window is not None and window >= 2:
+        all_scores = all_scores[-window:]
+
+    final_snapshot = egs[len(egs) - 1]
+    existing = final_snapshot.successors(source) | {source}
+    if candidates is None:
+        candidates = [node for node in range(egs.n) if node not in existing]
+    else:
+        candidates = [int(node) for node in candidates if int(node) not in existing]
+
+    predictions: List[Tuple[float, LinkPrediction]] = []
+    for target in candidates:
+        history = all_scores[:, target]
+        current = float(history[-1])
+        trend = proximity_trend(history)
+        mean_level = float(np.mean(history)) or 1e-12
+        combined = current + trend_weight * max(trend, 0.0) * len(history) / mean_level * current
+        predictions.append(
+            (
+                combined,
+                LinkPrediction(
+                    source=source,
+                    target=int(target),
+                    current_score=current,
+                    trend=trend,
+                    combined_score=combined,
+                ),
+            )
+        )
+    predictions.sort(key=lambda item: (-item[0], item[1].target))
+    return [prediction for _, prediction in predictions[:top_k]]

@@ -1,0 +1,80 @@
+"""Plain-text reporting of benchmark results.
+
+Every benchmark prints the data series behind the corresponding paper figure
+as an aligned text table, so that "regenerating a figure" means reading the
+same rows the plot would show.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+from repro.bench.runner import AlgorithmReport
+
+
+def format_table(rows: Sequence[Dict[str, object]], columns: Sequence[str]) -> str:
+    """Render a list of dict rows as an aligned plain-text table."""
+    if not rows:
+        return "(no data)"
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        rendered_rows.append([_format_value(row.get(column)) for column in columns])
+    widths = [
+        max(len(column), *(len(rendered[i]) for rendered in rendered_rows))
+        for i, column in enumerate(columns)
+    ]
+    header = "  ".join(column.ljust(widths[i]) for i, column in enumerate(columns))
+    separator = "  ".join("-" * widths[i] for i in range(len(columns)))
+    body = [
+        "  ".join(rendered[i].ljust(widths[i]) for i in range(len(columns)))
+        for rendered in rendered_rows
+    ]
+    return "\n".join([header, separator, *body])
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, float):
+        if value != 0 and (abs(value) < 0.001 or abs(value) >= 10000):
+            return f"{value:.3e}"
+        return f"{value:.4f}".rstrip("0").rstrip(".") if "." in f"{value:.4f}" else f"{value:.4f}"
+    return str(value)
+
+
+def reports_to_table(
+    reports: Iterable[AlgorithmReport], columns: Sequence[str] | None = None
+) -> str:
+    """Render algorithm reports as a table with a sensible default column set."""
+    default_columns = [
+        "workload",
+        "algorithm",
+        "parameter",
+        "average_quality_loss",
+        "speedup",
+        "cluster_count",
+        "bennett_time",
+        "total_time",
+    ]
+    rows = [report.as_row() for report in reports]
+    return format_table(rows, columns or default_columns)
+
+
+def series_table(
+    x_label: str,
+    x_values: Sequence[object],
+    series: Dict[str, Sequence[float]],
+) -> str:
+    """Render several named series sharing an x axis (one figure's line plot)."""
+    columns = [x_label, *series.keys()]
+    rows = []
+    for index, x_value in enumerate(x_values):
+        row: Dict[str, object] = {x_label: x_value}
+        for name, values in series.items():
+            row[name] = float(values[index])
+        rows.append(row)
+    return format_table(rows, columns)
+
+
+def print_header(title: str) -> None:
+    """Print a section header for benchmark output."""
+    line = "=" * max(len(title), 20)
+    print(f"\n{line}\n{title}\n{line}")

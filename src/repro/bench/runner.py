@@ -1,0 +1,169 @@
+"""Benchmark runner: execute the LUDEM algorithms and collect the paper's metrics.
+
+The runner evaluates an algorithm on a workload and reports the two
+quantities every experiment in the paper is phrased in:
+
+* **speedup** — BF's total decomposition time divided by the algorithm's,
+* **average quality-loss** — the mean of ``ql(O_i, A_i)`` over the sequence.
+
+BF and the Markowitz references are computed once per workload and cached so
+that sweeping a parameter (α, β, ΔE) does not redo the baseline.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+from repro.bench.workloads import Workload
+from repro.core.bf import decompose_sequence_bf
+from repro.core.cinc import decompose_sequence_cinc
+from repro.core.clude import decompose_sequence_clude
+from repro.core.inc import decompose_sequence_inc
+from repro.core.problem import LUDEMQCProblem
+from repro.core.qc import solve_qc_cinc, solve_qc_clude
+from repro.core.quality import MarkowitzReference
+from repro.core.result import SequenceResult
+from repro.errors import MeasureError
+from repro.graphs.ems import EvolvingMatrixSequence
+
+
+@dataclasses.dataclass
+class AlgorithmReport:
+    """Metrics of one algorithm run on one workload."""
+
+    workload: str
+    algorithm: str
+    parameter: float
+    total_time: float
+    speedup: float
+    average_quality_loss: float
+    cluster_count: int
+    bennett_time: float
+    ordering_time: float
+    decomposition_time: float
+    clustering_time: float
+    symbolic_time: float
+    mean_fill: float
+    structural_ops: int
+
+    def as_row(self) -> Dict[str, object]:
+        """Return the report as a flat dict (one table row)."""
+        return dataclasses.asdict(self)
+
+
+class WorkloadRunner:
+    """Runs BF once and evaluates the other algorithms against it."""
+
+    def __init__(self, workload: Workload) -> None:
+        self._workload = workload
+        self._reference = MarkowitzReference(symmetric=workload.symmetric)
+        self._bf_result: Optional[SequenceResult] = None
+
+    @property
+    def workload(self) -> Workload:
+        """The workload under evaluation."""
+        return self._workload
+
+    @property
+    def reference(self) -> MarkowitzReference:
+        """The Markowitz reference cache shared by all evaluations."""
+        return self._reference
+
+    def bf_result(self) -> SequenceResult:
+        """Return (running it on first use) the BF baseline result."""
+        if self._bf_result is None:
+            self._bf_result = decompose_sequence_bf(self._workload.matrices)
+        return self._bf_result
+
+    # ------------------------------------------------------------------ #
+    # Evaluation entry points
+    # ------------------------------------------------------------------ #
+    def evaluate(self, algorithm: str, alpha: float = 0.95) -> AlgorithmReport:
+        """Run one LUDEM algorithm and report its metrics.
+
+        ``parameter`` in the report is α for the cluster-based algorithms and
+        0.0 for BF / INC (which take no parameter).
+        """
+        name = algorithm.upper()
+        matrices = self._workload.matrices
+        if name == "BF":
+            result = self.bf_result()
+            parameter = 0.0
+        elif name == "INC":
+            result = decompose_sequence_inc(matrices)
+            parameter = 0.0
+        elif name == "CINC":
+            result = decompose_sequence_cinc(matrices, alpha=alpha)
+            parameter = alpha
+        elif name == "CLUDE":
+            result = decompose_sequence_clude(matrices, alpha=alpha)
+            parameter = alpha
+        else:
+            raise MeasureError(f"unknown algorithm {algorithm!r}")
+        return self._report(result, parameter)
+
+    def evaluate_qc(self, algorithm: str, beta: float) -> AlgorithmReport:
+        """Run one LUDEM-QC algorithm (CINC or CLUDE) and report its metrics."""
+        if not self._workload.symmetric:
+            raise MeasureError("LUDEM-QC evaluation requires a symmetric workload")
+        problem = LUDEMQCProblem(
+            ems=EvolvingMatrixSequence(self._workload.matrices),
+            quality_requirement=beta,
+        )
+        name = algorithm.upper()
+        if name in ("CINC", "CINC-QC"):
+            result = solve_qc_cinc(problem, reference=self._reference)
+        elif name in ("CLUDE", "CLUDE-QC"):
+            result = solve_qc_clude(problem, reference=self._reference)
+        else:
+            raise MeasureError(f"unknown LUDEM-QC algorithm {algorithm!r}")
+        return self._report(result, beta)
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _report(self, result: SequenceResult, parameter: float) -> AlgorithmReport:
+        matrices = self._workload.matrices
+        bf_time = self.bf_result().total_time
+        total_time = result.total_time
+        speedup = bf_time / total_time if total_time > 0 else float("inf")
+        summary = result.summary()
+        return AlgorithmReport(
+            workload=self._workload.name,
+            algorithm=result.algorithm,
+            parameter=parameter,
+            total_time=total_time,
+            speedup=speedup,
+            average_quality_loss=result.average_quality_loss(matrices, self._reference),
+            cluster_count=result.cluster_count,
+            bennett_time=result.timing.bennett_time,
+            ordering_time=result.timing.ordering_time,
+            decomposition_time=result.timing.decomposition_time,
+            clustering_time=result.timing.clustering_time,
+            symbolic_time=result.timing.symbolic_time,
+            mean_fill=summary["mean_fill_size"],
+            structural_ops=int(summary["structural_ops"]),
+        )
+
+
+def sweep_alpha(
+    runner: WorkloadRunner, algorithms: Sequence[str], alphas: Sequence[float]
+) -> List[AlgorithmReport]:
+    """Evaluate several algorithms across an α sweep (Figures 6-8)."""
+    reports: List[AlgorithmReport] = []
+    for alpha in alphas:
+        for algorithm in algorithms:
+            reports.append(runner.evaluate(algorithm, alpha=alpha))
+    return reports
+
+
+def sweep_beta(
+    runner: WorkloadRunner, algorithms: Sequence[str], betas: Sequence[float]
+) -> List[AlgorithmReport]:
+    """Evaluate the QC algorithms across a β sweep (Figure 10)."""
+    reports: List[AlgorithmReport] = []
+    for beta in betas:
+        for algorithm in algorithms:
+            reports.append(runner.evaluate_qc(algorithm, beta=beta))
+    return reports

@@ -1,0 +1,68 @@
+"""Core algorithms of the paper: BF, INC, CINC, CLUDE and the QC variants."""
+
+from repro.core.bf import decompose_sequence_bf
+from repro.core.cinc import decompose_sequence_cinc
+from repro.core.clude import decompose_sequence_clude, universal_symbolic_pattern
+from repro.core.clustering import (
+    MatrixCluster,
+    alpha_clustering,
+    beta_clustering_cinc,
+    beta_clustering_clude,
+    clusters_cover_sequence,
+)
+from repro.core.inc import decompose_sequence_inc
+from repro.core.problem import LUDEMProblem, LUDEMQCProblem
+from repro.core.qc import solve_qc_cinc, solve_qc_clude
+from repro.core.quality import (
+    MarkowitzReference,
+    markowitz_reference_size,
+    quality_loss,
+    symbolic_size_under_ordering,
+)
+from repro.core.result import (
+    MatrixDecomposition,
+    SequenceResult,
+    Stopwatch,
+    TimingBreakdown,
+)
+from repro.core.similarity import (
+    cluster_compactness,
+    cluster_intersection_pattern,
+    cluster_union_matrix,
+    cluster_union_pattern,
+    is_alpha_bounded,
+)
+from repro.core.solver import ALGORITHMS, EMSSolver, available_algorithms
+
+__all__ = [
+    "LUDEMProblem",
+    "LUDEMQCProblem",
+    "MatrixCluster",
+    "alpha_clustering",
+    "beta_clustering_cinc",
+    "beta_clustering_clude",
+    "clusters_cover_sequence",
+    "decompose_sequence_bf",
+    "decompose_sequence_inc",
+    "decompose_sequence_cinc",
+    "decompose_sequence_clude",
+    "universal_symbolic_pattern",
+    "solve_qc_cinc",
+    "solve_qc_clude",
+    "quality_loss",
+    "markowitz_reference_size",
+    "symbolic_size_under_ordering",
+    "MarkowitzReference",
+    "MatrixDecomposition",
+    "SequenceResult",
+    "TimingBreakdown",
+    "Stopwatch",
+    "cluster_compactness",
+    "cluster_intersection_pattern",
+    "cluster_union_pattern",
+    "cluster_union_matrix",
+    "is_alpha_bounded",
+    "EMSSolver",
+    "ALGORITHMS",
+    "available_algorithms",
+]

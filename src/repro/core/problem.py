@@ -1,0 +1,87 @@
+"""Problem definitions: LUDEM and LUDEM-QC.
+
+Definition 3 (LUDEM): given an EMS ``{A_1 … A_T}`` of sparse ``n x n``
+matrices, determine an ordering ``O_i`` for each ``A_i`` and compute the LU
+factors of ``A_i^{O_i}``.
+
+Definition 5 (LUDEM-QC): additionally require every ordering to satisfy the
+quality constraint ``ql(O_i, A_i) <= beta``; the problem is stated for
+symmetric matrices, for which the reference quantity ``|s̃p(A_i*)|`` can be
+evaluated cheaply.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import ClusteringError, NotSymmetricError
+from repro.graphs.ems import EvolvingMatrixSequence
+
+
+@dataclasses.dataclass(frozen=True)
+class LUDEMProblem:
+    """An instance of the LUDEM problem (paper Definition 3).
+
+    Attributes
+    ----------
+    ems:
+        The evolving matrix sequence to decompose.
+    similarity_threshold:
+        The α parameter of α-clustering used by the cluster-based algorithms
+        (ignored by BF and INC).
+    """
+
+    ems: EvolvingMatrixSequence
+    similarity_threshold: float = 0.95
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.similarity_threshold <= 1.0:
+            raise ClusteringError(
+                f"similarity threshold alpha must lie in [0, 1], got {self.similarity_threshold}"
+            )
+
+    @property
+    def length(self) -> int:
+        """Number of matrices ``T`` in the sequence."""
+        return len(self.ems)
+
+    @property
+    def n(self) -> int:
+        """Matrix dimension."""
+        return self.ems.n
+
+
+@dataclasses.dataclass(frozen=True)
+class LUDEMQCProblem:
+    """An instance of the quality-constrained LUDEM-QC problem (Definition 5).
+
+    Attributes
+    ----------
+    ems:
+        The evolving matrix sequence; every matrix must be symmetric.
+    quality_requirement:
+        The β bound on the quality-loss of every produced ordering.
+    """
+
+    ems: EvolvingMatrixSequence
+    quality_requirement: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.quality_requirement < 0.0:
+            raise ClusteringError(
+                f"quality requirement beta must be non-negative, got {self.quality_requirement}"
+            )
+        if not self.ems.is_symmetric():
+            raise NotSymmetricError(
+                "LUDEM-QC is defined for symmetric matrices; the given EMS is not symmetric"
+            )
+
+    @property
+    def length(self) -> int:
+        """Number of matrices ``T`` in the sequence."""
+        return len(self.ems)
+
+    @property
+    def n(self) -> int:
+        """Matrix dimension."""
+        return self.ems.n

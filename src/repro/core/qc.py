@@ -1,0 +1,62 @@
+"""Drivers for the quality-constrained LUDEM-QC problem (paper Section 5).
+
+LUDEM-QC asks for orderings whose quality-loss never exceeds a user-supplied
+bound β.  Both cluster-based algorithms enforce it through their clustering
+step: the cluster is grown only while the shared ordering provably satisfies
+the constraint for every member.
+
+* CINC uses β-clustering version of Algorithm 4 (check the first member's
+  Markowitz ordering against each candidate).
+* CLUDE uses β-clustering version of Algorithm 5 (check the union ordering's
+  upper bound ``|s̃p(A_∪^{O_∪})|`` against every member's reference).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.cinc import decompose_sequence_cinc
+from repro.core.clude import decompose_sequence_clude
+from repro.core.clustering import beta_clustering_cinc, beta_clustering_clude
+from repro.core.problem import LUDEMQCProblem
+from repro.core.quality import MarkowitzReference
+from repro.core.result import SequenceResult, Stopwatch
+
+
+def solve_qc_cinc(
+    problem: LUDEMQCProblem, reference: Optional[MarkowitzReference] = None
+) -> SequenceResult:
+    """Solve LUDEM-QC with the CINC machinery (β-clustering, Algorithm 4)."""
+    matrices = list(problem.ems)
+    reference = reference or MarkowitzReference(symmetric=True)
+    stopwatch = Stopwatch()
+    with stopwatch.time("clustering"):
+        clusters = beta_clustering_cinc(matrices, problem.quality_requirement, reference)
+    result = decompose_sequence_cinc(matrices, clusters=clusters)
+    result.timing.clustering_time += stopwatch.total("clustering")
+    result.cluster_count = len(clusters)
+    return SequenceResult(
+        algorithm="CINC-QC",
+        decompositions=result.decompositions,
+        timing=result.timing,
+        cluster_count=len(clusters),
+    )
+
+
+def solve_qc_clude(
+    problem: LUDEMQCProblem, reference: Optional[MarkowitzReference] = None
+) -> SequenceResult:
+    """Solve LUDEM-QC with the CLUDE machinery (β-clustering, Algorithm 5)."""
+    matrices = list(problem.ems)
+    reference = reference or MarkowitzReference(symmetric=True)
+    stopwatch = Stopwatch()
+    with stopwatch.time("clustering"):
+        clusters = beta_clustering_clude(matrices, problem.quality_requirement, reference)
+    result = decompose_sequence_clude(matrices, clusters=clusters)
+    result.timing.clustering_time += stopwatch.total("clustering")
+    return SequenceResult(
+        algorithm="CLUDE-QC",
+        decompositions=result.decompositions,
+        timing=result.timing,
+        cluster_count=len(clusters),
+    )

@@ -1,0 +1,127 @@
+"""Ordering quality: the quality-loss measure of Definition 4.
+
+The quality-loss of applying an ordering ``O`` to a matrix ``A`` compares the
+size of the symbolic sparsity pattern of ``A^O`` against that of the
+Markowitz-ordered matrix ``A*``::
+
+    ql(O, A) = (|s̃p(A^O)| - |s̃p(A*)|) / |s̃p(A*)|
+
+A value of zero means the ordering is as good (by this structural metric) as
+Markowitz; larger values mean proportionally more stored entries, slower
+decomposition and slower solves.  Because evaluating the reference quantity
+``|s̃p(A*)|`` requires running Markowitz on every matrix — exactly what the
+BF baseline does — the helper :class:`MarkowitzReference` caches it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Union
+
+from repro.errors import DimensionError
+from repro.lu.markowitz import markowitz_ordering
+from repro.lu.mindegree import minimum_degree_ordering, symmetric_symbolic_size
+from repro.lu.symbolic import reorder_pattern, symbolic_decomposition
+from repro.sparse.csr import SparseMatrix
+from repro.sparse.pattern import SparsityPattern
+from repro.sparse.permutation import Ordering
+
+
+def symbolic_size_under_ordering(
+    matrix_or_pattern: Union[SparseMatrix, SparsityPattern], ordering: Ordering
+) -> int:
+    """Return ``|s̃p(A^O)|`` for a matrix (or pattern) under an ordering."""
+    pattern = (
+        matrix_or_pattern.pattern()
+        if isinstance(matrix_or_pattern, SparseMatrix)
+        else matrix_or_pattern
+    )
+    if pattern.n != ordering.n:
+        raise DimensionError(
+            f"ordering size {ordering.n} does not match matrix dimension {pattern.n}"
+        )
+    reordered = reorder_pattern(pattern, ordering.row.order, ordering.column.order)
+    return len(symbolic_decomposition(reordered))
+
+
+def markowitz_reference_size(
+    matrix_or_pattern: Union[SparseMatrix, SparsityPattern],
+    symmetric: bool = False,
+) -> int:
+    """Return ``|s̃p(A*)|`` where ``A*`` is the Markowitz-ordered matrix.
+
+    For symmetric patterns the cheaper elimination-graph path of
+    :mod:`repro.lu.mindegree` is used (this is the efficiency claim the paper
+    relies on for LUDEM-QC).
+    """
+    pattern = (
+        matrix_or_pattern.pattern()
+        if isinstance(matrix_or_pattern, SparseMatrix)
+        else matrix_or_pattern
+    )
+    if symmetric and pattern.is_symmetric():
+        ordering = minimum_degree_ordering(pattern)
+        return symmetric_symbolic_size(pattern, ordering.row.order)
+    ordering = markowitz_ordering(pattern)
+    return symbolic_size_under_ordering(pattern, ordering)
+
+
+def quality_loss(
+    ordering: Ordering,
+    matrix: SparseMatrix,
+    reference_size: Optional[int] = None,
+    symmetric: bool = False,
+) -> float:
+    """Return ``ql(O, A)`` (Definition 4).
+
+    Parameters
+    ----------
+    ordering:
+        The ordering whose quality is evaluated.
+    matrix:
+        The matrix it is applied to.
+    reference_size:
+        Optional precomputed ``|s̃p(A*)|`` (e.g. from a
+        :class:`MarkowitzReference` cache).
+    symmetric:
+        Use the fast symmetric reference path when computing the reference.
+    """
+    if reference_size is None:
+        reference_size = markowitz_reference_size(matrix, symmetric=symmetric)
+    if reference_size <= 0:
+        raise DimensionError("reference symbolic pattern size must be positive")
+    achieved = symbolic_size_under_ordering(matrix, ordering)
+    return (achieved - reference_size) / reference_size
+
+
+class MarkowitzReference:
+    """A cache of Markowitz reference sizes ``|s̃p(A_i*)|`` for an EMS.
+
+    BF computes the Markowitz ordering of every matrix anyway; the experiments
+    reuse those results to score the orderings produced by other algorithms
+    without paying for Markowitz twice.
+    """
+
+    def __init__(self, symmetric: bool = False) -> None:
+        self._symmetric = symmetric
+        self._sizes: Dict[int, int] = {}
+
+    def size_for(self, index: int, matrix: SparseMatrix) -> int:
+        """Return (and cache) the reference size for matrix ``index``."""
+        if index not in self._sizes:
+            self._sizes[index] = markowitz_reference_size(matrix, symmetric=self._symmetric)
+        return self._sizes[index]
+
+    def quality_loss(self, index: int, ordering: Ordering, matrix: SparseMatrix) -> float:
+        """Return ``ql(O_index, A_index)`` using the cached reference."""
+        return quality_loss(
+            ordering, matrix, reference_size=self.size_for(index, matrix), symmetric=self._symmetric
+        )
+
+    def precompute(self, matrices: Sequence[SparseMatrix]) -> None:
+        """Populate the cache for an entire sequence of matrices."""
+        for index, matrix in enumerate(matrices):
+            self.size_for(index, matrix)
+
+    def known_sizes(self) -> Dict[int, int]:
+        """Return a copy of the cached sizes keyed by matrix index."""
+        return dict(self._sizes)

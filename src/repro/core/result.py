@@ -1,0 +1,222 @@
+"""Result containers and timing accounting for LUDEM algorithms.
+
+Every algorithm (BF, INC, CINC, CLUDE) produces one
+:class:`MatrixDecomposition` per matrix of the EMS and a
+:class:`SequenceResult` for the whole run.  The sequence result carries the
+execution-time breakdown the paper analyses in Section 6.2:
+
+* ``clustering_time``   (t_c) — time spent segmenting the EMS,
+* ``ordering_time``     (t_M) — time spent computing Markowitz orderings,
+* ``decomposition_time``(t_d) — time spent on full (Crout) decompositions,
+* ``bennett_time``      (t_B) — time spent on incremental Bennett updates,
+* ``symbolic_time``            — time spent on symbolic decompositions and
+  building static structures (CLUDE only; folded into the structure cost).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import DimensionError
+from repro.lu.solve import solve_reordered_system
+from repro.sparse.csr import SparseMatrix
+from repro.sparse.permutation import Ordering
+
+
+class Stopwatch:
+    """Accumulates wall-clock time into named buckets."""
+
+    def __init__(self) -> None:
+        self._totals: Dict[str, float] = {}
+
+    def add(self, bucket: str, seconds: float) -> None:
+        """Add ``seconds`` to ``bucket``."""
+        self._totals[bucket] = self._totals.get(bucket, 0.0) + seconds
+
+    def time(self, bucket: str):
+        """Return a context manager that times its block into ``bucket``."""
+        return _StopwatchContext(self, bucket)
+
+    def total(self, bucket: str) -> float:
+        """Return the accumulated time of ``bucket`` (0.0 if never used)."""
+        return self._totals.get(bucket, 0.0)
+
+    def totals(self) -> Dict[str, float]:
+        """Return a copy of all buckets."""
+        return dict(self._totals)
+
+
+class _StopwatchContext:
+    def __init__(self, stopwatch: Stopwatch, bucket: str) -> None:
+        self._stopwatch = stopwatch
+        self._bucket = bucket
+        self._start = 0.0
+
+    def __enter__(self) -> "_StopwatchContext":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._stopwatch.add(self._bucket, time.perf_counter() - self._start)
+
+
+@dataclasses.dataclass
+class MatrixDecomposition:
+    """The output of a LUDEM algorithm for one matrix of the EMS.
+
+    Attributes
+    ----------
+    index:
+        Position of the matrix in the EMS.
+    ordering:
+        The ordering ``O_i`` applied before decomposition.
+    factors:
+        LU factors of ``A_i^{O_i}`` (dynamic or static container).
+    fill_size:
+        ``|sp(Â_i^{O_i})|`` — number of stored non-zeros in the factors.
+    cluster_id:
+        Which cluster the matrix belonged to (0-based; BF and INC use a
+        single implicit cluster id of 0 and -1 respectively).
+    structural_ops:
+        Structural adjacency-list operations performed while producing these
+        factors (always 0 for CLUDE's static structures).
+    """
+
+    index: int
+    ordering: Ordering
+    factors: object
+    fill_size: int
+    cluster_id: int = 0
+    structural_ops: int = 0
+
+    def solve(self, b: Sequence[float]) -> np.ndarray:
+        """Solve ``A_i x = b`` using the stored factors and ordering."""
+        return solve_reordered_system(self.factors, self.ordering, b)
+
+
+@dataclasses.dataclass
+class TimingBreakdown:
+    """Execution-time components of one LUDEM run (Section 6.2 of the paper)."""
+
+    clustering_time: float = 0.0
+    ordering_time: float = 0.0
+    decomposition_time: float = 0.0
+    bennett_time: float = 0.0
+    symbolic_time: float = 0.0
+
+    @property
+    def total_time(self) -> float:
+        """Sum of every component."""
+        return (
+            self.clustering_time
+            + self.ordering_time
+            + self.decomposition_time
+            + self.bennett_time
+            + self.symbolic_time
+        )
+
+    @classmethod
+    def from_stopwatch(cls, stopwatch: Stopwatch) -> "TimingBreakdown":
+        """Build a breakdown from stopwatch buckets named after the fields."""
+        return cls(
+            clustering_time=stopwatch.total("clustering"),
+            ordering_time=stopwatch.total("ordering"),
+            decomposition_time=stopwatch.total("decomposition"),
+            bennett_time=stopwatch.total("bennett"),
+            symbolic_time=stopwatch.total("symbolic"),
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        """Return the components (plus the total) as a plain dictionary."""
+        return {
+            "clustering_time": self.clustering_time,
+            "ordering_time": self.ordering_time,
+            "decomposition_time": self.decomposition_time,
+            "bennett_time": self.bennett_time,
+            "symbolic_time": self.symbolic_time,
+            "total_time": self.total_time,
+        }
+
+
+@dataclasses.dataclass
+class SequenceResult:
+    """The output of a LUDEM algorithm over a whole EMS."""
+
+    algorithm: str
+    decompositions: List[MatrixDecomposition]
+    timing: TimingBreakdown
+    cluster_count: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.decompositions:
+            raise DimensionError("a sequence result needs at least one decomposition")
+
+    def __len__(self) -> int:
+        return len(self.decompositions)
+
+    def __getitem__(self, index: int) -> MatrixDecomposition:
+        return self.decompositions[index]
+
+    @property
+    def total_time(self) -> float:
+        """Total wall-clock time of the run."""
+        return self.timing.total_time
+
+    @property
+    def fill_sizes(self) -> List[int]:
+        """Fill size of every matrix's factors."""
+        return [decomposition.fill_size for decomposition in self.decompositions]
+
+    @property
+    def total_structural_ops(self) -> int:
+        """Total structural adjacency-list operations across the run."""
+        return sum(d.structural_ops for d in self.decompositions)
+
+    def solve(self, index: int, b: Sequence[float]) -> np.ndarray:
+        """Solve ``A_index x = b`` with the stored factors."""
+        return self.decompositions[index].solve(b)
+
+    def solve_all(self, b: Sequence[float]) -> List[np.ndarray]:
+        """Solve ``A_i x = b`` for every matrix with the same right-hand side.
+
+        This is the access pattern of measure time series: the same query
+        vector against every snapshot.
+        """
+        return [decomposition.solve(b) for decomposition in self.decompositions]
+
+    def quality_losses(
+        self, matrices: Sequence[SparseMatrix], reference
+    ) -> List[float]:
+        """Return ``ql(O_i, A_i)`` for every matrix, using a Markowitz reference cache."""
+        if len(matrices) != len(self.decompositions):
+            raise DimensionError("matrix count does not match decomposition count")
+        losses = []
+        for decomposition, matrix in zip(self.decompositions, matrices):
+            losses.append(
+                reference.quality_loss(decomposition.index, decomposition.ordering, matrix)
+            )
+        return losses
+
+    def average_quality_loss(self, matrices: Sequence[SparseMatrix], reference) -> float:
+        """Return the mean quality-loss across the sequence."""
+        losses = self.quality_losses(matrices, reference)
+        return float(np.mean(losses)) if losses else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        """Return a compact numeric summary of the run."""
+        return {
+            "algorithm_matrices": float(len(self.decompositions)),
+            "clusters": float(self.cluster_count),
+            "total_time": self.total_time,
+            "bennett_time": self.timing.bennett_time,
+            "ordering_time": self.timing.ordering_time,
+            "decomposition_time": self.timing.decomposition_time,
+            "clustering_time": self.timing.clustering_time,
+            "symbolic_time": self.timing.symbolic_time,
+            "mean_fill_size": float(np.mean(self.fill_sizes)),
+            "structural_ops": float(self.total_structural_ops),
+        }

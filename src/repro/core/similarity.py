@@ -1,0 +1,151 @@
+"""Cluster similarity machinery: bounding matrices and α-boundedness.
+
+Implements Definitions 6–8 and Property 1 of the paper: the matrix edit
+similarity ``mes``, the cluster bounding patterns ``A_∩`` (intersection) and
+``A_∪`` (union), and the α-boundedness test ``mes(A_∩, A_∪) >= α``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.errors import ClusteringError, DimensionError
+from repro.sparse.csr import SparseMatrix
+from repro.sparse.pattern import SparsityPattern, matrix_edit_similarity
+
+
+def cluster_intersection_pattern(matrices: Sequence[SparseMatrix]) -> SparsityPattern:
+    """Return ``sp(A_∩)``: positions non-zero in *every* matrix of the cluster."""
+    patterns = _patterns_of(matrices)
+    indices = set(patterns[0].indices)
+    for pattern in patterns[1:]:
+        indices &= pattern.indices
+    return SparsityPattern(patterns[0].n, indices)
+
+
+def cluster_union_pattern(matrices: Sequence[SparseMatrix]) -> SparsityPattern:
+    """Return ``sp(A_∪)``: positions non-zero in *at least one* matrix of the cluster."""
+    patterns = _patterns_of(matrices)
+    indices = set()
+    for pattern in patterns:
+        indices |= pattern.indices
+    return SparsityPattern(patterns[0].n, indices)
+
+
+def cluster_union_matrix(matrices: Sequence[SparseMatrix]) -> SparseMatrix:
+    """Return the 0/1 indicator matrix ``A_∪`` of the cluster union (Definition 7)."""
+    union = cluster_union_pattern(matrices)
+    return SparseMatrix(union.n, {(i, j): 1.0 for i, j in union})
+
+
+def cluster_compactness(matrices: Sequence[SparseMatrix]) -> float:
+    """Return ``mes(A_∩, A_∪)``, the compactness of a cluster (Definition 8)."""
+    intersection = cluster_intersection_pattern(matrices)
+    union = cluster_union_pattern(matrices)
+    return matrix_edit_similarity(intersection, union)
+
+
+def is_alpha_bounded(matrices: Sequence[SparseMatrix], alpha: float) -> bool:
+    """Return ``True`` when the cluster is α-bounded (Definition 8)."""
+    if not 0.0 <= alpha <= 1.0:
+        raise ClusteringError(f"alpha must lie in [0, 1], got {alpha}")
+    return cluster_compactness(matrices) >= alpha
+
+
+def successive_similarities(matrices: Sequence[SparseMatrix]) -> List[float]:
+    """Return ``mes(A_i, A_{i+1})`` for every consecutive pair."""
+    patterns = _patterns_of(matrices)
+    return [
+        matrix_edit_similarity(before, after)
+        for before, after in zip(patterns, patterns[1:])
+    ]
+
+
+class IncrementalClusterBound:
+    """Incrementally maintained ``A_∩`` / ``A_∪`` patterns of a growing cluster.
+
+    The α-clustering loop (Algorithm 1) repeatedly asks "would the cluster
+    still be α-bounded if the next matrix were added?".  Recomputing the
+    bounding patterns from scratch for every candidate is quadratic in the
+    cluster size, so this helper maintains them incrementally and offers a
+    non-destructive :meth:`compactness_with` probe.
+    """
+
+    def __init__(self, first: SparseMatrix) -> None:
+        pattern = first.pattern()
+        self._n = first.n
+        self._intersection = set(pattern.indices)
+        self._union = set(pattern.indices)
+        self._size = 1
+
+    @property
+    def size(self) -> int:
+        """Number of matrices currently in the cluster."""
+        return self._size
+
+    @property
+    def intersection(self) -> SparsityPattern:
+        """Current ``sp(A_∩)``."""
+        return SparsityPattern(self._n, self._intersection)
+
+    @property
+    def union(self) -> SparsityPattern:
+        """Current ``sp(A_∪)``."""
+        return SparsityPattern(self._n, self._union)
+
+    def compactness(self) -> float:
+        """Return the current ``mes(A_∩, A_∪)``."""
+        total = len(self._intersection) + len(self._union)
+        if total == 0:
+            return 1.0
+        return 2.0 * len(self._intersection & self._union) / total
+
+    def compactness_with(self, candidate: SparseMatrix) -> float:
+        """Return the compactness the cluster would have after adding ``candidate``."""
+        if candidate.n != self._n:
+            raise DimensionError(
+                f"candidate dimension {candidate.n} does not match cluster dimension {self._n}"
+            )
+        candidate_indices = candidate.pattern().indices
+        intersection_size = len(self._intersection & candidate_indices)
+        union_size = len(self._union | candidate_indices)
+        total = intersection_size + union_size
+        if total == 0:
+            return 1.0
+        return 2.0 * intersection_size / total
+
+    def add(self, matrix: SparseMatrix) -> None:
+        """Add a matrix to the cluster, updating both bounding patterns."""
+        if matrix.n != self._n:
+            raise DimensionError(
+                f"matrix dimension {matrix.n} does not match cluster dimension {self._n}"
+            )
+        indices = matrix.pattern().indices
+        self._intersection &= indices
+        self._union |= indices
+        self._size += 1
+
+
+def _patterns_of(matrices: Sequence[SparseMatrix]) -> List[SparsityPattern]:
+    matrices = list(matrices)
+    if not matrices:
+        raise ClusteringError("a cluster must contain at least one matrix")
+    n = matrices[0].n
+    patterns = []
+    for matrix in matrices:
+        if matrix.n != n:
+            raise DimensionError("cluster matrices have inconsistent dimensions")
+        patterns.append(matrix.pattern())
+    return patterns
+
+
+__all__ = [
+    "cluster_intersection_pattern",
+    "cluster_union_pattern",
+    "cluster_union_matrix",
+    "cluster_compactness",
+    "is_alpha_bounded",
+    "successive_similarities",
+    "IncrementalClusterBound",
+    "matrix_edit_similarity",
+]

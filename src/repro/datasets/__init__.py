@@ -1,0 +1,35 @@
+"""Simulated datasets standing in for the paper's Wikipedia, DBLP and patent data."""
+
+from repro.datasets.dblp import DBLPConfig, generate_dblp_egs
+from repro.datasets.patent import (
+    PatentConfig,
+    PatentDataset,
+    company_groups,
+    generate_patent_dataset,
+)
+from repro.datasets.registry import (
+    DATASET_LOADERS,
+    available_datasets,
+    load_dblp,
+    load_patent,
+    load_synthetic,
+    load_wiki,
+)
+from repro.datasets.wiki import WikiConfig, generate_wiki_egs
+
+__all__ = [
+    "WikiConfig",
+    "generate_wiki_egs",
+    "DBLPConfig",
+    "generate_dblp_egs",
+    "PatentConfig",
+    "PatentDataset",
+    "generate_patent_dataset",
+    "company_groups",
+    "load_wiki",
+    "load_dblp",
+    "load_synthetic",
+    "load_patent",
+    "available_datasets",
+    "DATASET_LOADERS",
+]

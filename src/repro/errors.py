@@ -1,0 +1,56 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by the library derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the library."""
+
+
+class DimensionError(ReproError):
+    """Raised when matrix or vector dimensions are incompatible."""
+
+
+class SingularMatrixError(ReproError):
+    """Raised when a pivot is (numerically) zero during decomposition."""
+
+    def __init__(self, pivot_index: int, value: float = 0.0) -> None:
+        self.pivot_index = pivot_index
+        self.value = value
+        super().__init__(
+            f"matrix is singular or nearly singular at pivot {pivot_index} "
+            f"(value={value!r})"
+        )
+
+
+class NotSymmetricError(ReproError):
+    """Raised when a symmetric matrix is required but a non-symmetric one is given."""
+
+
+class EmptySequenceError(ReproError):
+    """Raised when an evolving matrix/graph sequence is empty."""
+
+
+class PatternError(ReproError):
+    """Raised when a value falls outside the admissible sparsity pattern."""
+
+
+class OrderingError(ReproError):
+    """Raised when a permutation/ordering is malformed."""
+
+
+class ClusteringError(ReproError):
+    """Raised when a clustering parameter or result is invalid."""
+
+
+class DatasetError(ReproError):
+    """Raised when a dataset cannot be generated or loaded."""
+
+
+class MeasureError(ReproError):
+    """Raised when a graph measure is configured incorrectly."""

@@ -1,0 +1,82 @@
+"""Edge-level differences between consecutive graph snapshots."""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Tuple
+
+from repro.errors import DimensionError
+from repro.graphs.snapshot import Edge, GraphSnapshot
+
+
+class GraphDelta:
+    """The edges added and removed between two snapshots of the same node set."""
+
+    __slots__ = ("_added", "_removed")
+
+    def __init__(self, added: Iterable[Edge] = (), removed: Iterable[Edge] = ()) -> None:
+        self._added: FrozenSet[Edge] = frozenset((int(u), int(v)) for u, v in added)
+        self._removed: FrozenSet[Edge] = frozenset((int(u), int(v)) for u, v in removed)
+        overlap = self._added & self._removed
+        if overlap:
+            raise DimensionError(
+                f"edges cannot be both added and removed: {sorted(overlap)[:3]}"
+            )
+
+    @classmethod
+    def between(cls, before: GraphSnapshot, after: GraphSnapshot) -> "GraphDelta":
+        """Return the delta that transforms ``before`` into ``after``."""
+        if before.n != after.n:
+            raise DimensionError(
+                f"snapshots have different node counts: {before.n} vs {after.n}"
+            )
+        return cls(
+            added=after.edges - before.edges,
+            removed=before.edges - after.edges,
+        )
+
+    @property
+    def added(self) -> FrozenSet[Edge]:
+        """Edges present only in the newer snapshot."""
+        return self._added
+
+    @property
+    def removed(self) -> FrozenSet[Edge]:
+        """Edges present only in the older snapshot."""
+        return self._removed
+
+    @property
+    def size(self) -> int:
+        """Total number of edge changes (|added| + |removed|)."""
+        return len(self._added) + len(self._removed)
+
+    def is_empty(self) -> bool:
+        """Return ``True`` when the two snapshots are identical."""
+        return not self._added and not self._removed
+
+    def apply(self, snapshot: GraphSnapshot) -> GraphSnapshot:
+        """Return ``snapshot`` with this delta applied."""
+        return snapshot.with_edges(added=self._added, removed=self._removed)
+
+    def reversed(self) -> "GraphDelta":
+        """Return the delta that undoes this one."""
+        return GraphDelta(added=self._removed, removed=self._added)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, GraphDelta):
+            return NotImplemented
+        return self._added == other._added and self._removed == other._removed
+
+    def __repr__(self) -> str:
+        return f"GraphDelta(added={len(self._added)}, removed={len(self._removed)})"
+
+
+def touched_nodes(delta: GraphDelta) -> Tuple[int, ...]:
+    """Return the sorted set of node ids involved in any change of ``delta``."""
+    nodes = set()
+    for u, v in delta.added:
+        nodes.add(u)
+        nodes.add(v)
+    for u, v in delta.removed:
+        nodes.add(u)
+        nodes.add(v)
+    return tuple(sorted(nodes))

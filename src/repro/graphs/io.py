@@ -1,0 +1,87 @@
+"""Persistence for evolving graph sequences.
+
+The on-disk format is deliberately simple and line-oriented so that datasets
+can be inspected with standard text tools:
+
+* a header line ``# egs n=<nodes> T=<snapshots> directed=<0|1>``
+* for each snapshot, a line ``# snapshot <index> edges=<count>`` followed by
+  one ``<source> <target>`` pair per line.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Tuple, Union
+
+from repro.errors import DatasetError
+from repro.graphs.egs import EvolvingGraphSequence
+from repro.graphs.snapshot import GraphSnapshot
+
+PathLike = Union[str, Path]
+
+
+def save_egs(egs: EvolvingGraphSequence, path: PathLike) -> None:
+    """Write an EGS to ``path`` in the line-oriented text format."""
+    destination = Path(path)
+    directed = 1 if egs[0].directed else 0
+    lines: List[str] = [f"# egs n={egs.n} T={len(egs)} directed={directed}"]
+    for index, snapshot in enumerate(egs):
+        edges = sorted(snapshot.edges)
+        lines.append(f"# snapshot {index} edges={len(edges)}")
+        lines.extend(f"{u} {v}" for u, v in edges)
+    destination.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+def load_egs(path: PathLike) -> EvolvingGraphSequence:
+    """Read an EGS previously written by :func:`save_egs`."""
+    source = Path(path)
+    if not source.exists():
+        raise DatasetError(f"EGS file not found: {source}")
+    lines = source.read_text(encoding="utf-8").splitlines()
+    if not lines or not lines[0].startswith("# egs "):
+        raise DatasetError(f"not an EGS file (missing header): {source}")
+    header = _parse_header(lines[0])
+    n = header["n"]
+    directed = bool(header["directed"])
+
+    snapshots: List[GraphSnapshot] = []
+    current_edges: List[Tuple[int, int]] = []
+    in_snapshot = False
+    for line in lines[1:]:
+        stripped = line.strip()
+        if not stripped:
+            continue
+        if stripped.startswith("# snapshot"):
+            if in_snapshot:
+                snapshots.append(GraphSnapshot(n, current_edges, directed=directed))
+            current_edges = []
+            in_snapshot = True
+            continue
+        if stripped.startswith("#"):
+            continue
+        parts = stripped.split()
+        if len(parts) != 2:
+            raise DatasetError(f"malformed edge line in {source}: {stripped!r}")
+        current_edges.append((int(parts[0]), int(parts[1])))
+    if in_snapshot:
+        snapshots.append(GraphSnapshot(n, current_edges, directed=directed))
+    if len(snapshots) != header["T"]:
+        raise DatasetError(
+            f"snapshot count mismatch in {source}: header says {header['T']}, "
+            f"file contains {len(snapshots)}"
+        )
+    return EvolvingGraphSequence(snapshots)
+
+
+def _parse_header(line: str) -> dict:
+    """Parse the ``# egs`` header line into its integer fields."""
+    fields = {}
+    for token in line.replace("# egs", "").split():
+        if "=" not in token:
+            raise DatasetError(f"malformed EGS header token: {token!r}")
+        key, value = token.split("=", 1)
+        fields[key] = int(value)
+    for required in ("n", "T", "directed"):
+        if required not in fields:
+            raise DatasetError(f"EGS header missing field {required!r}")
+    return fields

@@ -1,0 +1,171 @@
+"""Graph snapshots.
+
+A :class:`GraphSnapshot` is one element of an evolving graph sequence: a set
+of directed edges (undirected graphs store each edge in both directions) over
+a fixed universe of ``n`` nodes.  Snapshots are immutable; evolution between
+snapshots is expressed with :class:`~repro.graphs.delta.GraphDelta`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Set, Tuple
+
+from repro.errors import DimensionError
+
+Edge = Tuple[int, int]
+
+
+class GraphSnapshot:
+    """An immutable directed graph over nodes ``0 … n-1``.
+
+    Parameters
+    ----------
+    n:
+        Number of nodes.
+    edges:
+        Iterable of ``(source, target)`` pairs.  Self-loops and duplicate
+        edges are dropped.
+    directed:
+        When ``False``, each edge is mirrored so the edge set is symmetric.
+    """
+
+    __slots__ = ("_n", "_edges", "_directed")
+
+    def __init__(self, n: int, edges: Iterable[Edge] = (), directed: bool = True) -> None:
+        if n < 0:
+            raise DimensionError(f"number of nodes must be non-negative, got {n}")
+        self._n = n
+        self._directed = directed
+        collected: Set[Edge] = set()
+        for u, v in edges:
+            u = int(u)
+            v = int(v)
+            if not (0 <= u < n and 0 <= v < n):
+                raise DimensionError(f"edge ({u}, {v}) out of bounds for n={n}")
+            if u == v:
+                continue
+            collected.add((u, v))
+            if not directed:
+                collected.add((v, u))
+        self._edges: FrozenSet[Edge] = frozenset(collected)
+
+    # ------------------------------------------------------------------ #
+    # Basic queries
+    # ------------------------------------------------------------------ #
+    @property
+    def n(self) -> int:
+        """Number of nodes."""
+        return self._n
+
+    @property
+    def directed(self) -> bool:
+        """Whether the snapshot was built as a directed graph."""
+        return self._directed
+
+    @property
+    def edges(self) -> FrozenSet[Edge]:
+        """The stored (directed) edge set."""
+        return self._edges
+
+    @property
+    def edge_count(self) -> int:
+        """Number of stored directed edges."""
+        return len(self._edges)
+
+    def __contains__(self, edge: Edge) -> bool:
+        return edge in self._edges
+
+    def __iter__(self) -> Iterator[Edge]:
+        return iter(self._edges)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, GraphSnapshot):
+            return NotImplemented
+        return self._n == other._n and self._edges == other._edges
+
+    def __hash__(self) -> int:
+        return hash((self._n, self._edges))
+
+    def __repr__(self) -> str:
+        kind = "directed" if self._directed else "undirected"
+        return f"GraphSnapshot(n={self._n}, edges={len(self._edges)}, {kind})"
+
+    # ------------------------------------------------------------------ #
+    # Degree / adjacency structure
+    # ------------------------------------------------------------------ #
+    def out_degree(self, node: int) -> int:
+        """Return the number of outgoing edges of ``node``."""
+        self._check_node(node)
+        return sum(1 for u, _ in self._edges if u == node)
+
+    def in_degree(self, node: int) -> int:
+        """Return the number of incoming edges of ``node``."""
+        self._check_node(node)
+        return sum(1 for _, v in self._edges if v == node)
+
+    def out_degrees(self) -> List[int]:
+        """Return the out-degree of every node."""
+        degrees = [0] * self._n
+        for u, _ in self._edges:
+            degrees[u] += 1
+        return degrees
+
+    def in_degrees(self) -> List[int]:
+        """Return the in-degree of every node."""
+        degrees = [0] * self._n
+        for _, v in self._edges:
+            degrees[v] += 1
+        return degrees
+
+    def successors(self, node: int) -> Set[int]:
+        """Return the set of nodes this node points to."""
+        self._check_node(node)
+        return {v for u, v in self._edges if u == node}
+
+    def predecessors(self, node: int) -> Set[int]:
+        """Return the set of nodes pointing to this node."""
+        self._check_node(node)
+        return {u for u, v in self._edges if v == node}
+
+    def adjacency(self) -> Dict[int, Set[int]]:
+        """Return the full successor map ``{node: set of successors}``."""
+        result: Dict[int, Set[int]] = {u: set() for u in range(self._n)}
+        for u, v in self._edges:
+            result[u].add(v)
+        return result
+
+    def average_degree(self) -> float:
+        """Return the average out-degree."""
+        if self._n == 0:
+            return 0.0
+        return len(self._edges) / self._n
+
+    # ------------------------------------------------------------------ #
+    # Derivation helpers
+    # ------------------------------------------------------------------ #
+    def with_edges(self, added: Iterable[Edge] = (), removed: Iterable[Edge] = ()) -> "GraphSnapshot":
+        """Return a new snapshot with ``added`` inserted and ``removed`` deleted.
+
+        When the snapshot is undirected both orientations of each edge are
+        affected.
+        """
+        edges = set(self._edges)
+        for u, v in removed:
+            edges.discard((int(u), int(v)))
+            if not self._directed:
+                edges.discard((int(v), int(u)))
+        for u, v in added:
+            u = int(u)
+            v = int(v)
+            if u == v:
+                continue
+            if not (0 <= u < self._n and 0 <= v < self._n):
+                raise DimensionError(f"edge ({u}, {v}) out of bounds for n={self._n}")
+            edges.add((u, v))
+            if not self._directed:
+                edges.add((v, u))
+        return GraphSnapshot(self._n, edges, directed=self._directed)
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self._n:
+            raise DimensionError(f"node {node} out of bounds for n={self._n}")

@@ -1,0 +1,93 @@
+"""Triangular solves and the full reordered-system solve path.
+
+Once a matrix is decomposed, any right-hand side is handled with one forward
+and one backward substitution (paper Section 2.1/2.2):
+
+    A x = b   ⇔   A^O (Q^{-1} x) = P b   ⇔   L (U x') = b'
+
+so ``x' = backward(U, forward(L, P b))`` and ``x = Q x'``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import DimensionError, SingularMatrixError
+from repro.sparse.permutation import Ordering
+
+#: Pivots below this magnitude abort a triangular solve.
+PIVOT_TOLERANCE = 1e-12
+
+
+def forward_substitution(factors, b: Sequence[float]) -> np.ndarray:
+    """Solve ``L y = b`` where ``L`` is the lower factor of ``factors``.
+
+    Uses the column-oriented (outer-product) sweep, which matches the
+    column-major storage of ``L`` in both factor containers.
+    """
+    n = factors.n
+    y = np.array(b, dtype=float)
+    if y.shape != (n,):
+        raise DimensionError(f"right-hand side of shape {y.shape} incompatible with n={n}")
+    for j in range(n):
+        pivot = factors.l_diagonal(j)
+        if abs(pivot) <= PIVOT_TOLERANCE:
+            raise SingularMatrixError(j, pivot)
+        y[j] = y[j] / pivot
+        yj = y[j]
+        if yj != 0.0:
+            for i, value in factors.l_column_entries(j):
+                if value != 0.0:
+                    y[i] -= value * yj
+    return y
+
+
+def backward_substitution(factors, y: Sequence[float]) -> np.ndarray:
+    """Solve ``U x = y`` where ``U`` is the unit upper factor of ``factors``."""
+    n = factors.n
+    x = np.array(y, dtype=float)
+    if x.shape != (n,):
+        raise DimensionError(f"right-hand side of shape {x.shape} incompatible with n={n}")
+    for i in range(n - 1, -1, -1):
+        total = x[i]
+        for j, value in factors.u_row_entries(i):
+            if value != 0.0:
+                total -= value * x[j]
+        x[i] = total
+    return x
+
+
+def solve_factored(factors, b: Sequence[float]) -> np.ndarray:
+    """Solve ``(L U) x = b`` given already-computed factors (no reordering)."""
+    return backward_substitution(factors, forward_substitution(factors, b))
+
+
+def solve_reordered_system(
+    factors,
+    ordering: Optional[Ordering],
+    b: Sequence[float],
+) -> np.ndarray:
+    """Solve the original system ``A x = b`` given factors of ``A^O``.
+
+    Parameters
+    ----------
+    factors:
+        LU factors of the reordered matrix ``A^O``.
+    ordering:
+        The ordering ``O = (P, Q)`` that was applied before decomposition;
+        ``None`` means the identity ordering.
+    b:
+        Right-hand side in original coordinates.
+
+    Returns
+    -------
+    numpy.ndarray
+        The solution ``x`` in original coordinates.
+    """
+    if ordering is None:
+        return solve_factored(factors, b)
+    b_prime = ordering.permute_rhs(b)
+    x_prime = solve_factored(factors, b_prime)
+    return ordering.unpermute_solution(x_prime)

@@ -1,0 +1,51 @@
+"""Validation helpers for LU factors.
+
+These functions are used by the test-suite and by callers who want to check
+that a set of factors really does reproduce the matrix it claims to factor —
+for example after a long chain of incremental Bennett updates.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.sparse.csr import SparseMatrix
+from repro.sparse.permutation import Ordering
+
+
+def reconstruction_error(factors, matrix: SparseMatrix, ordering: Optional[Ordering] = None) -> float:
+    """Return ``max |L U - A^O|`` over all positions.
+
+    Parameters
+    ----------
+    factors:
+        LU factors (dynamic or static container).
+    matrix:
+        The *original* matrix ``A``.
+    ordering:
+        The ordering applied before decomposition (``None`` for identity).
+    """
+    target = ordering.apply(matrix) if ordering is not None else matrix
+    product = factors.l_dense() @ factors.u_dense()
+    return float(np.max(np.abs(product - target.to_dense()))) if matrix.n else 0.0
+
+
+def factors_are_valid(
+    factors,
+    matrix: SparseMatrix,
+    ordering: Optional[Ordering] = None,
+    tolerance: float = 1e-8,
+) -> bool:
+    """Return ``True`` when the factors reproduce ``A^O`` within ``tolerance``."""
+    return reconstruction_error(factors, matrix, ordering) <= tolerance
+
+
+def solve_residual(matrix: SparseMatrix, x, b) -> float:
+    """Return the infinity norm of ``A x - b`` in original coordinates."""
+    ax = matrix.matvec(np.asarray(x, dtype=float))
+    rhs = np.asarray(b, dtype=float)
+    if ax.size == 0:
+        return 0.0
+    return float(np.max(np.abs(ax - rhs)))

@@ -1,0 +1,95 @@
+"""Shared infrastructure for graph measures.
+
+Every measure in the paper is obtained by composing a matrix ``A`` from the
+graph and solving ``A x = b`` for a measure-specific right-hand side ``b``
+(Section 1).  :class:`SnapshotMeasureSolver` encapsulates that recipe for a
+single snapshot: compose the matrix, reorder it with Markowitz, decompose it
+once, then answer any number of queries by substitution.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import MeasureError
+from repro.graphs.matrixkind import DEFAULT_DAMPING, MatrixKind, measure_matrix
+from repro.graphs.snapshot import GraphSnapshot
+from repro.lu.crout import crout_decompose
+from repro.lu.markowitz import markowitz_ordering
+from repro.lu.solve import solve_reordered_system
+from repro.sparse.csr import SparseMatrix
+from repro.sparse.permutation import Ordering
+
+
+class SnapshotMeasureSolver:
+    """Decompose one snapshot's measure matrix and answer queries against it.
+
+    Parameters
+    ----------
+    snapshot:
+        The graph snapshot.
+    kind:
+        Matrix composition (random-walk or symmetric).
+    damping:
+        Damping factor ``d``.
+    reorder:
+        Whether to Markowitz-reorder before decomposing (recommended).
+    """
+
+    def __init__(
+        self,
+        snapshot: GraphSnapshot,
+        kind: MatrixKind = MatrixKind.RANDOM_WALK,
+        damping: float = DEFAULT_DAMPING,
+        reorder: bool = True,
+    ) -> None:
+        if not 0.0 < damping < 1.0:
+            raise MeasureError(f"damping factor must lie in (0, 1), got {damping}")
+        self._snapshot = snapshot
+        self._damping = damping
+        self._matrix = measure_matrix(snapshot, kind=kind, damping=damping)
+        self._ordering: Optional[Ordering] = None
+        if reorder:
+            self._ordering = markowitz_ordering(self._matrix)
+            reordered = self._ordering.apply(self._matrix)
+            self._factors = crout_decompose(reordered)
+        else:
+            self._factors = crout_decompose(self._matrix)
+
+    @property
+    def snapshot(self) -> GraphSnapshot:
+        """The underlying graph snapshot."""
+        return self._snapshot
+
+    @property
+    def matrix(self) -> SparseMatrix:
+        """The composed measure matrix ``A``."""
+        return self._matrix
+
+    @property
+    def damping(self) -> float:
+        """The damping factor ``d``."""
+        return self._damping
+
+    def solve(self, b: Sequence[float]) -> np.ndarray:
+        """Solve ``A x = b`` using the cached factors."""
+        return solve_reordered_system(self._factors, self._ordering, b)
+
+
+def normalize_distribution(vector: np.ndarray) -> np.ndarray:
+    """Return ``vector / sum(vector)`` (leaves all-zero vectors untouched)."""
+    total = float(np.sum(vector))
+    if total == 0.0:
+        return vector
+    return vector / total
+
+
+def rank_of(scores: Sequence[float], descending: bool = True) -> np.ndarray:
+    """Return the 1-based rank of every entry (rank 1 = best score)."""
+    array = np.asarray(scores, dtype=float)
+    order = np.argsort(-array if descending else array, kind="stable")
+    ranks = np.empty(array.size, dtype=int)
+    ranks[order] = np.arange(1, array.size + 1)
+    return ranks

@@ -1,0 +1,71 @@
+"""Monte-Carlo approximation of random-walk measures.
+
+The second approximation family the paper contrasts with (Section 8):
+simulate many random walks with restart and estimate the stationary
+distribution from visit frequencies.  Like power iteration, the simulation
+must be repeated per query (per start node), which is what makes the
+decomposition approach attractive for sequence analytics.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import MeasureError
+from repro.graphs.matrixkind import DEFAULT_DAMPING
+from repro.graphs.snapshot import GraphSnapshot
+
+
+@dataclasses.dataclass
+class MonteCarloResult:
+    """Outcome of a Monte-Carlo RWR estimation."""
+
+    scores: np.ndarray
+    walks: int
+    steps: int
+
+
+def rwr_monte_carlo(
+    snapshot: GraphSnapshot,
+    start_node: int,
+    damping: float = DEFAULT_DAMPING,
+    walks: int = 2000,
+    max_steps_per_walk: int = 100,
+    seed: int = 0,
+    adjacency: Optional[Dict[int, List[int]]] = None,
+) -> MonteCarloResult:
+    """Estimate the RWR stationary distribution by simulating random walks.
+
+    Each walk starts at ``start_node``; at every step it restarts with
+    probability ``1 - d`` and otherwise moves to a uniformly random
+    out-neighbour (restarting when stuck at a dangling node).  Visit counts,
+    normalized, estimate the stationary distribution.
+    """
+    if not 0.0 < damping < 1.0:
+        raise MeasureError(f"damping factor must lie in (0, 1), got {damping}")
+    if not 0 <= start_node < snapshot.n:
+        raise MeasureError(f"start node {start_node} out of bounds for n={snapshot.n}")
+    if walks <= 0:
+        raise MeasureError("walks must be positive")
+
+    rng = np.random.default_rng(seed)
+    if adjacency is None:
+        adjacency = {node: sorted(successors) for node, successors in snapshot.adjacency().items()}
+    visits = np.zeros(snapshot.n, dtype=float)
+    total_steps = 0
+    for _ in range(walks):
+        current = start_node
+        for _ in range(max_steps_per_walk):
+            visits[current] += 1.0
+            total_steps += 1
+            if rng.random() > damping:
+                break
+            neighbours = adjacency.get(current)
+            if not neighbours:
+                break
+            current = neighbours[int(rng.integers(0, len(neighbours)))]
+    scores = visits / float(np.sum(visits)) if np.sum(visits) > 0 else visits
+    return MonteCarloResult(scores=scores, walks=walks, steps=total_steps)

@@ -1,0 +1,54 @@
+"""Personalized PageRank (PPR).
+
+PPR restricts teleportation to a set of seed nodes: the score vector solves
+``(I - d W) x = (1 - d) s`` where ``s`` spreads unit mass over the seeds.
+The paper's patent case study (Section 7) sums the PPR scores of one
+company's patents using another company's patents as the seed set to measure
+inter-company proximity.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.graphs.matrixkind import DEFAULT_DAMPING, MatrixKind
+from repro.graphs.snapshot import GraphSnapshot
+from repro.measures.base import SnapshotMeasureSolver
+from repro.sparse.vector import seed_vector
+
+
+def ppr_rhs(n: int, seeds: Iterable[int], damping: float = DEFAULT_DAMPING) -> np.ndarray:
+    """Return the right-hand side ``(1 - d) s`` for a seed set."""
+    return seed_vector(n, seeds, total=1.0 - damping)
+
+
+def ppr_scores(
+    snapshot: GraphSnapshot,
+    seeds: Iterable[int],
+    damping: float = DEFAULT_DAMPING,
+    solver: Optional[SnapshotMeasureSolver] = None,
+) -> np.ndarray:
+    """Return the Personalized PageRank vector for a seed set."""
+    solver = solver or SnapshotMeasureSolver(
+        snapshot, kind=MatrixKind.RANDOM_WALK, damping=damping
+    )
+    return solver.solve(ppr_rhs(snapshot.n, seeds, damping))
+
+
+def ppr_group_proximity(
+    snapshot: GraphSnapshot,
+    seeds: Iterable[int],
+    targets: Sequence[int],
+    damping: float = DEFAULT_DAMPING,
+    solver: Optional[SnapshotMeasureSolver] = None,
+) -> float:
+    """Return the summed PPR score of a target node group given a seed group.
+
+    This is the proximity aggregate used in the paper's case study: the
+    proximity of company Y from company X is the sum of PPR scores of Y's
+    nodes when X's nodes form the seed set.
+    """
+    scores = ppr_scores(snapshot, seeds, damping=damping, solver=solver)
+    return float(np.sum(scores[list(targets)]))

@@ -1,0 +1,61 @@
+"""Random Walk with Restart (RWR).
+
+RWR from a starting node ``u`` (paper Section 1, Equation 1): with
+probability ``d`` the walk follows an out-edge, with probability ``1 - d`` it
+restarts at ``u``.  The stationary distribution ``x_u`` solves::
+
+    (I - d W) x_u = (1 - d) q_u
+
+where ``W`` is the column-normalized adjacency matrix and ``q_u`` the unit
+vector at ``u``.  Large ``x_u(v)`` means ``v`` is close to ``u``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.matrixkind import DEFAULT_DAMPING, MatrixKind
+from repro.graphs.snapshot import GraphSnapshot
+from repro.measures.base import SnapshotMeasureSolver
+from repro.sparse.vector import unit_vector
+
+
+def rwr_rhs(n: int, start_node: int, damping: float = DEFAULT_DAMPING) -> np.ndarray:
+    """Return the right-hand side ``(1 - d) q_u`` for a start node."""
+    return unit_vector(n, start_node, value=1.0 - damping)
+
+
+def rwr_scores(
+    snapshot: GraphSnapshot,
+    start_node: int,
+    damping: float = DEFAULT_DAMPING,
+    solver: SnapshotMeasureSolver | None = None,
+) -> np.ndarray:
+    """Return the RWR stationary distribution for one start node.
+
+    Parameters
+    ----------
+    snapshot:
+        The graph snapshot.
+    start_node:
+        The restart node ``u``.
+    damping:
+        The damping factor ``d``.
+    solver:
+        Optional pre-built solver for the snapshot (reused across queries).
+    """
+    solver = solver or SnapshotMeasureSolver(
+        snapshot, kind=MatrixKind.RANDOM_WALK, damping=damping
+    )
+    return solver.solve(rwr_rhs(snapshot.n, start_node, damping))
+
+
+def rwr_proximity(
+    snapshot: GraphSnapshot,
+    start_node: int,
+    target_node: int,
+    damping: float = DEFAULT_DAMPING,
+) -> float:
+    """Return the RWR proximity of ``target_node`` from ``start_node``."""
+    scores = rwr_scores(snapshot, start_node, damping=damping)
+    return float(scores[target_node])

@@ -1,0 +1,18 @@
+"""Sparse-matrix substrate: patterns, matrices, adjacency lists and orderings."""
+
+from repro.sparse.csr import SparseMatrix, column_normalized_adjacency
+from repro.sparse.lil import AdjacencyListMatrix
+from repro.sparse.pattern import SparsityPattern, matrix_edit_similarity
+from repro.sparse.permutation import Ordering, Permutation, natural_ordering, random_ordering
+
+__all__ = [
+    "SparseMatrix",
+    "AdjacencyListMatrix",
+    "SparsityPattern",
+    "matrix_edit_similarity",
+    "Ordering",
+    "Permutation",
+    "natural_ordering",
+    "random_ordering",
+    "column_normalized_adjacency",
+]

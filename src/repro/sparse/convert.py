@@ -1,0 +1,77 @@
+"""Conversions between :class:`~repro.sparse.csr.SparseMatrix` and third-party formats.
+
+These helpers are convenience glue for users who already have data in
+``scipy.sparse`` or ``networkx`` form; the library itself never depends on
+them for its core algorithms.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Tuple
+
+from repro.errors import DimensionError
+from repro.sparse.csr import SparseMatrix
+
+
+def to_scipy(matrix: SparseMatrix) -> Any:
+    """Return a ``scipy.sparse.csr_matrix`` copy of ``matrix``.
+
+    Raises
+    ------
+    ImportError
+        If SciPy is not installed.
+    """
+    from scipy.sparse import csr_matrix
+
+    rows = []
+    cols = []
+    vals = []
+    for i, j, value in matrix.items():
+        rows.append(i)
+        cols.append(j)
+        vals.append(value)
+    return csr_matrix((vals, (rows, cols)), shape=matrix.shape)
+
+
+def from_scipy(sparse_matrix: Any) -> SparseMatrix:
+    """Build a :class:`SparseMatrix` from any square ``scipy.sparse`` matrix."""
+    coo = sparse_matrix.tocoo()
+    if coo.shape[0] != coo.shape[1]:
+        raise DimensionError(f"expected a square matrix, got shape {coo.shape}")
+    triples = zip(coo.row.tolist(), coo.col.tolist(), coo.data.tolist())
+    return SparseMatrix.from_triples(coo.shape[0], triples)
+
+
+def from_networkx(graph: Any, nodelist: Iterable[Any] | None = None) -> SparseMatrix:
+    """Build the (unnormalized) adjacency matrix of a networkx graph.
+
+    Parameters
+    ----------
+    graph:
+        A ``networkx`` graph or digraph.
+    nodelist:
+        Optional explicit node order; defaults to ``sorted(graph.nodes)``.
+    """
+    nodes = list(nodelist) if nodelist is not None else sorted(graph.nodes)
+    index_of = {node: position for position, node in enumerate(nodes)}
+    n = len(nodes)
+
+    def triples() -> Iterable[Tuple[int, int, float]]:
+        for u, v, data in graph.edges(data=True):
+            weight = float(data.get("weight", 1.0))
+            yield index_of[u], index_of[v], weight
+            if not graph.is_directed():
+                yield index_of[v], index_of[u], weight
+
+    return SparseMatrix.from_triples(n, triples())
+
+
+def to_networkx(matrix: SparseMatrix, directed: bool = True) -> Any:
+    """Return a networkx graph whose weighted edges mirror the matrix entries."""
+    import networkx as nx
+
+    graph = nx.DiGraph() if directed else nx.Graph()
+    graph.add_nodes_from(range(matrix.n))
+    for i, j, value in matrix.items():
+        graph.add_edge(i, j, weight=value)
+    return graph

@@ -1,0 +1,331 @@
+"""An immutable sparse matrix stored in compressed-sparse-row form.
+
+:class:`SparseMatrix` is the exchange format used throughout the library:
+evolving matrix sequences hold one per snapshot, orderings produce reordered
+copies, and the LU engines consume it when building their own working
+structures.  It deliberately supports only the operations the algorithms in
+the paper need (element access, row/column iteration, matrix-vector products,
+pattern extraction, reordering, and element-wise deltas between snapshots).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import DimensionError
+from repro.sparse.pattern import SparsityPattern
+from repro.sparse.types import Entries, Index, Triples
+
+_DEFAULT_TOLERANCE = 0.0
+
+
+class SparseMatrix:
+    """An ``n x n`` sparse matrix with float64 values.
+
+    Instances are immutable: every transformation returns a new matrix.
+
+    Parameters
+    ----------
+    n:
+        Matrix dimension.
+    entries:
+        Mapping from ``(row, column)`` to value.  Exact zeros are dropped.
+    """
+
+    __slots__ = ("_n", "_rows", "_nnz")
+
+    def __init__(self, n: int, entries: Optional[Entries] = None) -> None:
+        if n < 0:
+            raise DimensionError(f"matrix dimension must be non-negative, got {n}")
+        self._n = n
+        rows: List[Dict[int, float]] = [dict() for _ in range(n)]
+        nnz = 0
+        if entries:
+            for (i, j), value in entries.items():
+                i = int(i)
+                j = int(j)
+                if not (0 <= i < n and 0 <= j < n):
+                    raise DimensionError(
+                        f"index ({i}, {j}) out of bounds for a {n}x{n} matrix"
+                    )
+                value = float(value)
+                if value != 0.0:
+                    if j not in rows[i]:
+                        nnz += 1
+                    rows[i][j] = value
+        self._rows = rows
+        self._nnz = nnz
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_triples(cls, n: int, triples: Triples) -> "SparseMatrix":
+        """Build a matrix from ``(row, column, value)`` triples.
+
+        Duplicate indices are summed, mirroring COO-format semantics.
+        """
+        entries: Entries = {}
+        for i, j, value in triples:
+            key = (int(i), int(j))
+            entries[key] = entries.get(key, 0.0) + float(value)
+        return cls(n, entries)
+
+    @classmethod
+    def from_dense(cls, dense: Sequence[Sequence[float]]) -> "SparseMatrix":
+        """Build a matrix from a dense 2-D array-like (must be square)."""
+        array = np.asarray(dense, dtype=float)
+        if array.ndim != 2 or array.shape[0] != array.shape[1]:
+            raise DimensionError(f"expected a square 2-D array, got shape {array.shape}")
+        n = array.shape[0]
+        entries: Entries = {}
+        nonzero_rows, nonzero_cols = np.nonzero(array)
+        for i, j in zip(nonzero_rows.tolist(), nonzero_cols.tolist()):
+            entries[(i, j)] = float(array[i, j])
+        return cls(n, entries)
+
+    @classmethod
+    def identity(cls, n: int) -> "SparseMatrix":
+        """Return the ``n x n`` identity matrix."""
+        return cls(n, {(i, i): 1.0 for i in range(n)})
+
+    @classmethod
+    def zeros(cls, n: int) -> "SparseMatrix":
+        """Return the ``n x n`` all-zero matrix."""
+        return cls(n, {})
+
+    # ------------------------------------------------------------------ #
+    # Basic queries
+    # ------------------------------------------------------------------ #
+    @property
+    def n(self) -> int:
+        """Matrix dimension."""
+        return self._n
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """Matrix shape as a ``(rows, columns)`` tuple."""
+        return (self._n, self._n)
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored (non-zero) entries."""
+        return self._nnz
+
+    def get(self, i: int, j: int) -> float:
+        """Return the value at ``(i, j)`` (0.0 when the entry is absent)."""
+        if not (0 <= i < self._n and 0 <= j < self._n):
+            raise DimensionError(
+                f"index ({i}, {j}) out of bounds for a {self._n}x{self._n} matrix"
+            )
+        return self._rows[i].get(j, 0.0)
+
+    def __getitem__(self, index: Index) -> float:
+        i, j = index
+        return self.get(i, j)
+
+    def row(self, i: int) -> Dict[int, float]:
+        """Return a copy of row ``i`` as a ``{column: value}`` mapping."""
+        return dict(self._rows[i])
+
+    def row_items(self, i: int) -> Iterator[Tuple[int, float]]:
+        """Iterate over ``(column, value)`` pairs of row ``i``."""
+        return iter(self._rows[i].items())
+
+    def column(self, j: int) -> Dict[int, float]:
+        """Return column ``j`` as a ``{row: value}`` mapping (O(nnz) scan)."""
+        return {i: row[j] for i, row in enumerate(self._rows) if j in row}
+
+    def items(self) -> Iterator[Tuple[int, int, float]]:
+        """Iterate over all stored entries as ``(row, column, value)`` triples."""
+        for i, row in enumerate(self._rows):
+            for j, value in row.items():
+                yield i, j, value
+
+    def entries(self) -> Entries:
+        """Return all stored entries as a ``{(row, column): value}`` dict."""
+        return {(i, j): value for i, j, value in self.items()}
+
+    def pattern(self) -> SparsityPattern:
+        """Return the sparsity pattern ``sp(A)`` of this matrix."""
+        return SparsityPattern(self._n, ((i, j) for i, j, _ in self.items()))
+
+    def to_dense(self) -> np.ndarray:
+        """Return a dense float64 copy of the matrix."""
+        dense = np.zeros((self._n, self._n), dtype=float)
+        for i, j, value in self.items():
+            dense[i, j] = value
+        return dense
+
+    # ------------------------------------------------------------------ #
+    # Structure / numeric predicates
+    # ------------------------------------------------------------------ #
+    def is_symmetric(self, tolerance: float = 1e-12) -> bool:
+        """Return ``True`` when ``A`` equals its transpose within ``tolerance``."""
+        for i, j, value in self.items():
+            if abs(self.get(j, i) - value) > tolerance:
+                return False
+        return True
+
+    def is_diagonally_dominant(self) -> bool:
+        """Return ``True`` when every row is weakly diagonally dominant."""
+        for i in range(self._n):
+            row = self._rows[i]
+            diagonal = abs(row.get(i, 0.0))
+            off_diagonal = sum(abs(v) for j, v in row.items() if j != i)
+            if diagonal + 1e-15 < off_diagonal:
+                return False
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Algebra
+    # ------------------------------------------------------------------ #
+    def matvec(self, x: Sequence[float]) -> np.ndarray:
+        """Return ``A @ x`` for a dense vector ``x``."""
+        vector = np.asarray(x, dtype=float)
+        if vector.shape != (self._n,):
+            raise DimensionError(
+                f"vector of length {vector.shape} incompatible with n={self._n}"
+            )
+        result = np.zeros(self._n, dtype=float)
+        for i, row in enumerate(self._rows):
+            total = 0.0
+            for j, value in row.items():
+                total += value * vector[j]
+            result[i] = total
+        return result
+
+    def rmatvec(self, x: Sequence[float]) -> np.ndarray:
+        """Return ``A.T @ x`` for a dense vector ``x``."""
+        vector = np.asarray(x, dtype=float)
+        if vector.shape != (self._n,):
+            raise DimensionError(
+                f"vector of length {vector.shape} incompatible with n={self._n}"
+            )
+        result = np.zeros(self._n, dtype=float)
+        for i, row in enumerate(self._rows):
+            xi = vector[i]
+            if xi == 0.0:
+                continue
+            for j, value in row.items():
+                result[j] += value * xi
+        return result
+
+    def transpose(self) -> "SparseMatrix":
+        """Return the transposed matrix."""
+        return SparseMatrix.from_triples(self._n, ((j, i, v) for i, j, v in self.items()))
+
+    def scale(self, factor: float) -> "SparseMatrix":
+        """Return ``factor * A``."""
+        return SparseMatrix.from_triples(
+            self._n, ((i, j, factor * v) for i, j, v in self.items())
+        )
+
+    def add(self, other: "SparseMatrix") -> "SparseMatrix":
+        """Return ``A + B``."""
+        self._check_compatible(other)
+        entries = self.entries()
+        for i, j, value in other.items():
+            entries[(i, j)] = entries.get((i, j), 0.0) + value
+        return SparseMatrix(self._n, entries)
+
+    def subtract(self, other: "SparseMatrix") -> "SparseMatrix":
+        """Return ``A - B``."""
+        return self.add(other.scale(-1.0))
+
+    __add__ = add
+    __sub__ = subtract
+
+    def delta_entries(self, other: "SparseMatrix", tolerance: float = _DEFAULT_TOLERANCE) -> Entries:
+        """Return the entries of ``other - self`` whose magnitude exceeds ``tolerance``.
+
+        This is the sparse "update matrix" ``ΔA`` that incremental decomposition
+        algorithms consume when moving from one snapshot to the next.
+        """
+        self._check_compatible(other)
+        delta: Entries = {}
+        for i, j, value in other.items():
+            difference = value - self.get(i, j)
+            if abs(difference) > tolerance:
+                delta[(i, j)] = difference
+        for i, j, value in self.items():
+            if other.get(i, j) == 0.0 and (i, j) not in delta:
+                difference = -value
+                if abs(difference) > tolerance:
+                    delta[(i, j)] = difference
+        return delta
+
+    def _check_compatible(self, other: "SparseMatrix") -> None:
+        if self._n != other._n:
+            raise DimensionError(
+                f"matrices have different dimensions: {self._n} vs {other._n}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Reordering
+    # ------------------------------------------------------------------ #
+    def permuted(self, row_perm: Sequence[int], col_perm: Sequence[int]) -> "SparseMatrix":
+        """Return the matrix reordered so that ``B[r, c] = A[row_perm[r], col_perm[c]]``.
+
+        ``row_perm[r]`` is the original row placed at new position ``r`` and
+        ``col_perm[c]`` the original column placed at new position ``c``.  This
+        is exactly ``B = P A Q`` for the permutation matrices implied by the
+        two sequences (see :mod:`repro.sparse.permutation`).
+        """
+        if len(row_perm) != self._n or len(col_perm) != self._n:
+            raise DimensionError("permutation length does not match matrix dimension")
+        new_row_of = {original: new for new, original in enumerate(row_perm)}
+        new_col_of = {original: new for new, original in enumerate(col_perm)}
+        return SparseMatrix.from_triples(
+            self._n,
+            ((new_row_of[i], new_col_of[j], v) for i, j, v in self.items()),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Comparisons / dunder helpers
+    # ------------------------------------------------------------------ #
+    def allclose(self, other: "SparseMatrix", tolerance: float = 1e-9) -> bool:
+        """Return ``True`` when both matrices agree entry-wise within ``tolerance``."""
+        self._check_compatible(other)
+        keys = set(self.entries()) | set(other.entries())
+        return all(
+            math.isclose(self.get(i, j), other.get(i, j), abs_tol=tolerance, rel_tol=tolerance)
+            for i, j in keys
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SparseMatrix):
+            return NotImplemented
+        return self._n == other._n and self.entries() == other.entries()
+
+    def __hash__(self) -> int:  # pragma: no cover - matrices are rarely hashed
+        return hash((self._n, frozenset(self.entries().items())))
+
+    def __repr__(self) -> str:
+        return f"SparseMatrix(n={self._n}, nnz={self._nnz})"
+
+
+def column_normalized_adjacency(
+    n: int, edges: Iterable[Tuple[int, int]]
+) -> SparseMatrix:
+    """Build the column-normalized adjacency matrix ``W`` used by PR/RWR/PPR.
+
+    For an edge ``(i, j)`` (from node ``i`` to node ``j``) the matrix gets
+    ``W[j, i] = 1 / out_degree(i)``, matching footnote 1 of the paper.
+    Dangling nodes (out-degree zero) contribute an empty column.
+    """
+    out_degree: Dict[int, int] = {}
+    edge_list: List[Tuple[int, int]] = []
+    for i, j in edges:
+        i = int(i)
+        j = int(j)
+        if not (0 <= i < n and 0 <= j < n):
+            raise DimensionError(f"edge ({i}, {j}) out of bounds for n={n}")
+        out_degree[i] = out_degree.get(i, 0) + 1
+        edge_list.append((i, j))
+    return SparseMatrix.from_triples(
+        n, ((j, i, 1.0 / out_degree[i]) for i, j in edge_list)
+    )

@@ -1,0 +1,15 @@
+"""Shared type aliases for the sparse-matrix subsystem."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+#: A matrix index (row, column).
+Index = Tuple[int, int]
+
+#: A mapping from matrix index to numeric value; the canonical "dictionary of
+#: keys" representation used to exchange data between sparse containers.
+Entries = Dict[Index, float]
+
+#: Anything that yields ``(row, column, value)`` triples.
+Triples = Iterable[Tuple[int, int, float]]

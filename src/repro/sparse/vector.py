@@ -1,0 +1,74 @@
+"""Small helpers for dense and sparse vectors used by measures and solvers."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import DimensionError
+
+
+def unit_vector(n: int, index: int, value: float = 1.0) -> np.ndarray:
+    """Return a length-``n`` vector that is zero except for ``value`` at ``index``."""
+    if not 0 <= index < n:
+        raise DimensionError(f"index {index} out of bounds for a length-{n} vector")
+    vector = np.zeros(n, dtype=float)
+    vector[index] = value
+    return vector
+
+
+def seed_vector(n: int, seeds: Iterable[int], total: float = 1.0) -> np.ndarray:
+    """Return a vector spreading ``total`` uniformly over the ``seeds`` indices.
+
+    Used by Personalized PageRank when a *set* of seed nodes is given (as in
+    the paper's patent case study, Section 7).
+    """
+    seed_list = [int(s) for s in seeds]
+    if not seed_list:
+        raise DimensionError("seed set must not be empty")
+    for s in seed_list:
+        if not 0 <= s < n:
+            raise DimensionError(f"seed {s} out of bounds for a length-{n} vector")
+    vector = np.zeros(n, dtype=float)
+    share = total / len(seed_list)
+    for s in seed_list:
+        vector[s] += share
+    return vector
+
+
+def sparse_to_dense(n: int, entries: Dict[int, float]) -> np.ndarray:
+    """Expand a ``{index: value}`` mapping into a dense length-``n`` vector."""
+    vector = np.zeros(n, dtype=float)
+    for index, value in entries.items():
+        if not 0 <= index < n:
+            raise DimensionError(f"index {index} out of bounds for a length-{n} vector")
+        vector[index] = value
+    return vector
+
+
+def dense_to_sparse(vector: Sequence[float], tolerance: float = 0.0) -> Dict[int, float]:
+    """Collect the entries of ``vector`` whose magnitude exceeds ``tolerance``."""
+    array = np.asarray(vector, dtype=float)
+    return {int(i): float(v) for i, v in enumerate(array) if abs(v) > tolerance}
+
+
+def residual_norm(matvec_result: Sequence[float], b: Sequence[float]) -> float:
+    """Return the infinity norm of ``A x - b`` given a precomputed ``A x``."""
+    ax = np.asarray(matvec_result, dtype=float)
+    rhs = np.asarray(b, dtype=float)
+    if ax.shape != rhs.shape:
+        raise DimensionError(f"shape mismatch: {ax.shape} vs {rhs.shape}")
+    if ax.size == 0:
+        return 0.0
+    return float(np.max(np.abs(ax - rhs)))
+
+
+def top_k(vector: Sequence[float], k: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Return the indices and values of the ``k`` largest entries, descending."""
+    array = np.asarray(vector, dtype=float)
+    if k <= 0:
+        return np.array([], dtype=int), np.array([], dtype=float)
+    k = min(k, array.size)
+    order = np.argsort(-array, kind="stable")[:k]
+    return order, array[order]

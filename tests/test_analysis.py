@@ -1,0 +1,130 @@
+"""Tests for the analysis helpers (key moments, proximity rankings, link prediction)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.keymoments import (
+    detect_step_changes,
+    detect_trends,
+    summarize_moments,
+)
+from repro.analysis.linkpred import predict_links, proximity_trend
+from repro.analysis.proximity import proximity_rankings
+from repro.datasets.patent import PatentConfig, generate_patent_dataset
+from repro.errors import MeasureError
+from repro.graphs.generators import growing_egs
+from repro.graphs.snapshot import GraphSnapshot
+from repro.graphs.egs import EvolvingGraphSequence
+
+
+class TestKeyMoments:
+    def test_detects_spike_and_drop(self):
+        series = [1.0, 1.0, 1.6, 1.6, 1.0, 1.0]
+        moments = detect_step_changes(series, relative_threshold=0.3)
+        kinds = [(m.index, m.kind) for m in moments]
+        assert (2, "rise") in kinds
+        assert (4, "drop") in kinds
+
+    def test_no_false_positives_on_flat_series(self):
+        assert detect_step_changes([1.0] * 10, relative_threshold=0.05) == []
+
+    def test_threshold_must_be_positive(self):
+        with pytest.raises(MeasureError):
+            detect_step_changes([1.0, 2.0], relative_threshold=0.0)
+
+    def test_series_must_be_1d(self):
+        with pytest.raises(MeasureError):
+            detect_step_changes(np.zeros((3, 3)))
+
+    def test_detects_downtrend(self):
+        series = list(np.linspace(2.0, 1.0, 20))
+        moments = detect_trends(series, window=8, relative_threshold=0.2)
+        assert any(m.kind == "downtrend" for m in moments)
+
+    def test_detects_uptrend(self):
+        series = list(np.linspace(1.0, 2.0, 20))
+        moments = detect_trends(series, window=8, relative_threshold=0.2)
+        assert any(m.kind == "uptrend" for m in moments)
+
+    def test_window_validation(self):
+        with pytest.raises(MeasureError):
+            detect_trends([1.0, 2.0], window=1)
+
+    def test_summary_text(self):
+        moments = detect_step_changes([1.0, 2.0], relative_threshold=0.5)
+        text = summarize_moments(moments)
+        assert "rise" in text
+        assert summarize_moments([]) == "no key moments detected"
+
+
+class TestProximityTrend:
+    def test_positive_and_negative_slopes(self):
+        assert proximity_trend([1.0, 2.0, 3.0]) > 0
+        assert proximity_trend([3.0, 2.0, 1.0]) < 0
+        assert proximity_trend([5.0]) == 0.0
+
+
+class TestLinkPrediction:
+    def build_egs(self):
+        """Node 0 gets progressively closer to node 4 but never links to it."""
+        snapshots = []
+        base_edges = [(0, 1), (1, 2), (2, 0), (3, 4), (4, 3), (5, 0)]
+        extra = [(1, 4), (2, 4), (1, 3), (2, 3)]
+        current = list(base_edges)
+        for step in range(5):
+            snapshots.append(GraphSnapshot(6, current))
+            if step < len(extra):
+                current = current + [extra[step]]
+        return EvolvingGraphSequence(snapshots)
+
+    def test_predicts_increasingly_close_node(self):
+        egs = self.build_egs()
+        predictions = predict_links(egs, source=0, top_k=2, algorithm="CINC", alpha=0.9)
+        assert predictions
+        predicted_targets = [p.target for p in predictions]
+        assert 4 in predicted_targets or 3 in predicted_targets
+        # Existing neighbours are never predicted.
+        assert 1 not in predicted_targets
+
+    def test_top_k_zero(self):
+        assert predict_links(self.build_egs(), source=0, top_k=0) == []
+
+    def test_candidate_restriction(self):
+        egs = self.build_egs()
+        predictions = predict_links(egs, source=0, top_k=3, candidates=[3])
+        assert [p.target for p in predictions] == [3]
+
+    def test_invalid_source(self):
+        with pytest.raises(MeasureError):
+            predict_links(self.build_egs(), source=77)
+
+    def test_scores_are_finite_and_ordered(self):
+        egs = growing_egs(nodes=15, snapshots=4, initial_edges=30, edges_per_step=4, seed=2)
+        predictions = predict_links(egs, source=0, top_k=5, algorithm="CLUDE", alpha=0.9)
+        scores = [p.combined_score for p in predictions]
+        assert all(np.isfinite(score) for score in scores)
+        assert scores == sorted(scores, reverse=True)
+
+
+class TestProximityRankings:
+    def test_rising_company_trajectory(self):
+        dataset = generate_patent_dataset(PatentConfig())
+        rankings = proximity_rankings(dataset, alpha=0.9)
+        assert rankings.scores.shape == rankings.ranks.shape
+        assert rankings.company_names[0] == "RISING"
+        rising = rankings.rank_series(0)
+        # Starts away from the top, finishes at/near the top.
+        assert rising[0] > rising[-1]
+        assert rankings.is_steadily_rising(0)
+
+    def test_ranks_are_permutations_per_year(self):
+        dataset = generate_patent_dataset(
+            PatentConfig(companies=4, years=6, patents_per_company_initial=4,
+                         patents_per_company_per_year=2)
+        )
+        rankings = proximity_rankings(dataset, alpha=0.9)
+        companies = rankings.ranks.shape[1]
+        for year_ranks in rankings.ranks:
+            assert sorted(year_ranks.tolist()) == list(range(1, companies + 1))

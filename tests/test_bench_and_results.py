@@ -1,0 +1,163 @@
+"""Tests for the result containers, benchmark workloads, runner and reporting."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.bench.reporting import format_table, reports_to_table, series_table
+from repro.bench.runner import WorkloadRunner, sweep_alpha, sweep_beta
+from repro.bench.workloads import (
+    Workload,
+    dblp_workload,
+    synthetic_workload_with_delta,
+    wiki_workload,
+)
+from repro.core.bf import decompose_sequence_bf
+from repro.core.result import Stopwatch, TimingBreakdown
+from repro.errors import DimensionError, MeasureError
+from repro.graphs.ems import EvolvingMatrixSequence
+from repro.graphs.generators import SyntheticEGSConfig, generate_synthetic_egs
+from repro.graphs.matrixkind import MatrixKind
+
+
+def tiny_workload(symmetric=False):
+    if symmetric:
+        from repro.graphs.generators import growing_egs
+
+        egs = growing_egs(nodes=30, snapshots=5, initial_edges=60, edges_per_step=5,
+                          seed=4, directed=False)
+        ems = EvolvingMatrixSequence.from_graphs(egs, kind=MatrixKind.SYMMETRIC_WALK)
+        return Workload(name="tiny-symmetric", matrices=list(ems), symmetric=True)
+    config = SyntheticEGSConfig(nodes=35, edge_pool_size=300, average_degree=4,
+                                delta_edges=8, snapshots=5, seed=4)
+    egs = generate_synthetic_egs(config)
+    ems = EvolvingMatrixSequence.from_graphs(egs)
+    return Workload(name="tiny-directed", matrices=list(ems), symmetric=False)
+
+
+class TestStopwatchAndTiming:
+    def test_stopwatch_accumulates(self):
+        stopwatch = Stopwatch()
+        with stopwatch.time("bucket"):
+            time.sleep(0.01)
+        with stopwatch.time("bucket"):
+            time.sleep(0.01)
+        assert stopwatch.total("bucket") >= 0.015
+        assert stopwatch.total("missing") == 0.0
+
+    def test_breakdown_from_stopwatch(self):
+        stopwatch = Stopwatch()
+        stopwatch.add("ordering", 1.0)
+        stopwatch.add("bennett", 2.0)
+        breakdown = TimingBreakdown.from_stopwatch(stopwatch)
+        assert breakdown.ordering_time == 1.0
+        assert breakdown.bennett_time == 2.0
+        assert breakdown.total_time == pytest.approx(3.0)
+        assert breakdown.as_dict()["total_time"] == pytest.approx(3.0)
+
+
+class TestSequenceResult:
+    def test_summary_and_solves(self, tiny_ems):
+        matrices = list(tiny_ems)
+        result = decompose_sequence_bf(matrices)
+        summary = result.summary()
+        assert summary["algorithm_matrices"] == len(matrices)
+        assert summary["mean_fill_size"] > 0
+        b = np.ones(tiny_ems.n)
+        solutions = result.solve_all(b)
+        assert len(solutions) == len(matrices)
+
+    def test_quality_losses_length_check(self, tiny_ems):
+        from repro.core.quality import MarkowitzReference
+
+        result = decompose_sequence_bf(list(tiny_ems))
+        with pytest.raises(DimensionError):
+            result.quality_losses(list(tiny_ems)[:-1], MarkowitzReference())
+
+    def test_empty_result_rejected(self):
+        from repro.core.result import SequenceResult
+
+        with pytest.raises(DimensionError):
+            SequenceResult(algorithm="X", decompositions=[], timing=TimingBreakdown())
+
+
+class TestWorkloads:
+    def test_wiki_and_dblp_workload_shapes(self):
+        wiki = wiki_workload("tiny")
+        assert wiki.length > 0 and not wiki.symmetric and wiki.n > 0
+        dblp = dblp_workload("tiny")
+        assert dblp.symmetric
+        assert all(matrix.is_symmetric() for matrix in dblp.matrices[:2])
+
+    def test_synthetic_delta_workload(self):
+        workload = synthetic_workload_with_delta(delta_edges=10, nodes=40, snapshots=4)
+        assert workload.length == 4
+        with pytest.raises(Exception):
+            synthetic_workload_with_delta(delta_edges=-1)
+
+
+class TestWorkloadRunner:
+    def test_evaluate_all_algorithms(self):
+        runner = WorkloadRunner(tiny_workload())
+        for algorithm in ("BF", "INC", "CINC", "CLUDE"):
+            report = runner.evaluate(algorithm, alpha=0.9)
+            assert report.total_time > 0
+            assert report.speedup > 0
+            assert report.average_quality_loss >= -1e-9
+        # BF is the reference: its speedup is exactly 1.
+        assert runner.evaluate("BF").speedup == pytest.approx(1.0)
+
+    def test_bf_result_is_cached(self):
+        runner = WorkloadRunner(tiny_workload())
+        assert runner.bf_result() is runner.bf_result()
+
+    def test_unknown_algorithm(self):
+        runner = WorkloadRunner(tiny_workload())
+        with pytest.raises(MeasureError):
+            runner.evaluate("TURBO")
+
+    def test_qc_requires_symmetric_workload(self):
+        runner = WorkloadRunner(tiny_workload(symmetric=False))
+        with pytest.raises(MeasureError):
+            runner.evaluate_qc("CLUDE", beta=0.1)
+
+    def test_qc_evaluation(self):
+        runner = WorkloadRunner(tiny_workload(symmetric=True))
+        report = runner.evaluate_qc("CLUDE", beta=0.2)
+        assert report.average_quality_loss <= 0.2 + 1e-9
+        report_cinc = runner.evaluate_qc("CINC", beta=0.2)
+        assert report_cinc.algorithm == "CINC-QC"
+
+    def test_sweeps(self):
+        runner = WorkloadRunner(tiny_workload())
+        reports = sweep_alpha(runner, ["CINC", "CLUDE"], [0.9, 0.95])
+        assert len(reports) == 4
+        symmetric_runner = WorkloadRunner(tiny_workload(symmetric=True))
+        qc_reports = sweep_beta(symmetric_runner, ["CLUDE"], [0.1, 0.3])
+        assert len(qc_reports) == 2
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        rows = [{"a": 1, "b": 0.123456}, {"a": 20, "b": 3.0}]
+        table = format_table(rows, ["a", "b"])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert "a" in lines[0] and "b" in lines[0]
+
+    def test_format_table_empty(self):
+        assert format_table([], ["a"]) == "(no data)"
+
+    def test_reports_to_table(self):
+        runner = WorkloadRunner(tiny_workload())
+        reports = [runner.evaluate("CLUDE", alpha=0.9)]
+        table = reports_to_table(reports)
+        assert "CLUDE" in table
+
+    def test_series_table(self):
+        table = series_table("alpha", [0.9, 0.95], {"CLUDE": [10.0, 8.0], "CINC": [5.0, 4.0]})
+        assert "alpha" in table and "CLUDE" in table and "CINC" in table
+        assert len(table.splitlines()) == 4

@@ -1,0 +1,142 @@
+"""Tests for the adjacency-list matrix, vector helpers and format conversions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import DimensionError
+from repro.sparse.csr import SparseMatrix
+from repro.sparse.lil import AdjacencyListMatrix
+from repro.sparse.vector import (
+    dense_to_sparse,
+    residual_norm,
+    seed_vector,
+    sparse_to_dense,
+    top_k,
+    unit_vector,
+)
+from tests.conftest import random_dd_matrix
+
+
+class TestAdjacencyListMatrix:
+    def test_set_get_round_trip(self):
+        matrix = AdjacencyListMatrix(4)
+        matrix.set(1, 2, 3.5)
+        matrix.set(1, 0, -1.0)
+        assert matrix.get(1, 2) == 3.5
+        assert matrix.get(1, 0) == -1.0
+        assert matrix.get(0, 0) == 0.0
+        assert matrix.nnz == 2
+
+    def test_rows_stay_sorted(self):
+        matrix = AdjacencyListMatrix(5)
+        for column in (4, 1, 3, 0, 2):
+            matrix.set(0, column, float(column + 1))
+        assert matrix.row_columns(0) == [0, 1, 2, 3, 4]
+
+    def test_setting_zero_removes_entry(self):
+        matrix = AdjacencyListMatrix(3)
+        matrix.set(0, 1, 2.0)
+        matrix.set(0, 1, 0.0)
+        assert matrix.nnz == 0
+
+    def test_structural_ops_counting(self):
+        matrix = AdjacencyListMatrix(3)
+        matrix.set(0, 1, 2.0)       # insert -> 1 op
+        matrix.set(0, 1, 3.0)       # value update -> 0 ops
+        matrix.set(0, 1, 0.0)       # delete -> 1 op
+        assert matrix.structural_ops == 2
+        matrix.reset_counters()
+        assert matrix.structural_ops == 0
+
+    def test_initial_population_not_counted(self):
+        matrix = AdjacencyListMatrix(3, {(0, 1): 1.0, (2, 2): 2.0})
+        assert matrix.structural_ops == 0
+        assert matrix.nnz == 2
+
+    def test_add_to_and_clear_row(self):
+        matrix = AdjacencyListMatrix(3)
+        matrix.add_to(0, 1, 1.5)
+        matrix.add_to(0, 1, -1.5)
+        assert matrix.get(0, 1) == 0.0
+        matrix.set(1, 0, 1.0)
+        matrix.set(1, 2, 1.0)
+        matrix.clear_row(1)
+        assert matrix.row_columns(1) == []
+
+    def test_round_trip_with_sparse(self, rng):
+        original = random_dd_matrix(10, 30, rng)
+        adjacency = AdjacencyListMatrix.from_sparse(original)
+        assert adjacency.to_sparse() == original
+        assert adjacency.pattern() == original.pattern()
+
+    def test_copy_is_independent(self):
+        matrix = AdjacencyListMatrix(3, {(0, 1): 1.0})
+        clone = matrix.copy()
+        clone.set(0, 1, 9.0)
+        assert matrix.get(0, 1) == 1.0
+
+    def test_out_of_bounds(self):
+        matrix = AdjacencyListMatrix(2)
+        with pytest.raises(DimensionError):
+            matrix.set(0, 2, 1.0)
+        with pytest.raises(DimensionError):
+            matrix.get(2, 0)
+
+
+class TestVectorHelpers:
+    def test_unit_vector(self):
+        v = unit_vector(4, 2, 3.0)
+        assert v.tolist() == [0.0, 0.0, 3.0, 0.0]
+        with pytest.raises(DimensionError):
+            unit_vector(4, 4)
+
+    def test_seed_vector_spreads_mass(self):
+        v = seed_vector(5, [0, 3], total=1.0)
+        assert v[0] == pytest.approx(0.5)
+        assert v[3] == pytest.approx(0.5)
+        assert np.sum(v) == pytest.approx(1.0)
+
+    def test_seed_vector_rejects_empty_and_out_of_range(self):
+        with pytest.raises(DimensionError):
+            seed_vector(5, [])
+        with pytest.raises(DimensionError):
+            seed_vector(5, [7])
+
+    def test_sparse_dense_round_trip(self):
+        sparse = {1: 2.0, 3: -1.0}
+        dense = sparse_to_dense(5, sparse)
+        assert dense_to_sparse(dense) == sparse
+
+    def test_residual_norm(self):
+        assert residual_norm([1.0, 2.0], [1.0, 2.5]) == pytest.approx(0.5)
+        with pytest.raises(DimensionError):
+            residual_norm([1.0], [1.0, 2.0])
+
+    def test_top_k(self):
+        indices, values = top_k([0.1, 0.9, 0.5], 2)
+        assert indices.tolist() == [1, 2]
+        assert values.tolist() == [0.9, 0.5]
+        empty_indices, _ = top_k([0.1], 0)
+        assert empty_indices.size == 0
+
+
+class TestConversions:
+    def test_scipy_round_trip(self, rng):
+        scipy_sparse = pytest.importorskip("scipy.sparse")
+        from repro.sparse.convert import from_scipy, to_scipy
+
+        matrix = random_dd_matrix(8, 24, rng)
+        converted = from_scipy(to_scipy(matrix))
+        assert converted.allclose(matrix)
+
+    def test_networkx_round_trip(self):
+        nx = pytest.importorskip("networkx")
+        from repro.sparse.convert import from_networkx, to_networkx
+
+        matrix = SparseMatrix(3, {(0, 1): 2.0, (1, 2): 1.0, (2, 0): 4.0})
+        graph = to_networkx(matrix, directed=True)
+        assert isinstance(graph, nx.DiGraph)
+        rebuilt = from_networkx(graph, nodelist=range(3))
+        assert rebuilt.allclose(matrix)

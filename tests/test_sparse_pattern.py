@@ -1,0 +1,149 @@
+"""Tests for sparsity patterns and the matrix edit similarity."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DimensionError
+from repro.sparse.pattern import SparsityPattern, matrix_edit_similarity
+
+
+def make_pattern(n, indices):
+    return SparsityPattern(n, indices)
+
+
+class TestConstruction:
+    def test_empty_pattern(self):
+        pattern = SparsityPattern(4)
+        assert len(pattern) == 0
+        assert pattern.n == 4
+
+    def test_basic_membership(self):
+        pattern = make_pattern(3, [(0, 1), (2, 2)])
+        assert (0, 1) in pattern
+        assert (1, 0) not in pattern
+        assert len(pattern) == 2
+
+    def test_duplicate_indices_collapse(self):
+        pattern = make_pattern(3, [(0, 1), (0, 1), (0, 1)])
+        assert len(pattern) == 1
+
+    def test_out_of_bounds_rejected(self):
+        with pytest.raises(DimensionError):
+            make_pattern(3, [(0, 3)])
+        with pytest.raises(DimensionError):
+            make_pattern(3, [(-1, 0)])
+
+    def test_negative_dimension_rejected(self):
+        with pytest.raises(DimensionError):
+            SparsityPattern(-1)
+
+    def test_equality_and_hash(self):
+        a = make_pattern(3, [(0, 1), (1, 2)])
+        b = make_pattern(3, [(1, 2), (0, 1)])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != make_pattern(3, [(0, 1)])
+
+
+class TestSetAlgebra:
+    def test_union_and_intersection(self):
+        a = make_pattern(4, [(0, 1), (1, 2)])
+        b = make_pattern(4, [(1, 2), (3, 3)])
+        assert (a | b).indices == frozenset({(0, 1), (1, 2), (3, 3)})
+        assert (a & b).indices == frozenset({(1, 2)})
+
+    def test_difference_and_symmetric_difference(self):
+        a = make_pattern(4, [(0, 1), (1, 2)])
+        b = make_pattern(4, [(1, 2), (3, 3)])
+        assert (a - b).indices == frozenset({(0, 1)})
+        assert (a ^ b).indices == frozenset({(0, 1), (3, 3)})
+
+    def test_subset_superset(self):
+        a = make_pattern(4, [(0, 1)])
+        b = make_pattern(4, [(0, 1), (1, 2)])
+        assert a <= b
+        assert b >= a
+        assert not b <= a
+
+    def test_dimension_mismatch_raises(self):
+        with pytest.raises(DimensionError):
+            make_pattern(3, []).union(make_pattern(4, []))
+
+    def test_transpose_and_symmetry(self):
+        asym = make_pattern(3, [(0, 1)])
+        sym = make_pattern(3, [(0, 1), (1, 0)])
+        assert not asym.is_symmetric()
+        assert sym.is_symmetric()
+        assert asym.transpose().indices == frozenset({(1, 0)})
+
+    def test_with_full_diagonal(self):
+        pattern = make_pattern(3, [(0, 1)]).with_full_diagonal()
+        assert {(0, 0), (1, 1), (2, 2)} <= set(pattern.indices)
+
+    def test_row_and_column_queries(self):
+        pattern = make_pattern(4, [(1, 0), (1, 2), (3, 2)])
+        assert pattern.row(1) == {0, 2}
+        assert pattern.column(2) == {1, 3}
+
+    def test_density(self):
+        assert make_pattern(2, [(0, 0), (1, 1)]).density() == pytest.approx(0.5)
+        assert SparsityPattern(0).density() == 0.0
+
+
+class TestMatrixEditSimilarity:
+    def test_identical_patterns(self):
+        a = make_pattern(3, [(0, 1), (1, 2)])
+        assert matrix_edit_similarity(a, a) == pytest.approx(1.0)
+
+    def test_disjoint_patterns(self):
+        a = make_pattern(3, [(0, 1)])
+        b = make_pattern(3, [(1, 0)])
+        assert matrix_edit_similarity(a, b) == pytest.approx(0.0)
+
+    def test_paper_formula(self):
+        a = make_pattern(4, [(0, 1), (1, 2), (2, 3)])
+        b = make_pattern(4, [(0, 1), (1, 2), (3, 0), (3, 1)])
+        expected = 2 * 2 / (3 + 4)
+        assert matrix_edit_similarity(a, b) == pytest.approx(expected)
+
+    def test_empty_patterns_are_identical(self):
+        assert matrix_edit_similarity(SparsityPattern(3), SparsityPattern(3)) == 1.0
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(DimensionError):
+            matrix_edit_similarity(SparsityPattern(3), SparsityPattern(4))
+
+
+index_pairs = st.tuples(st.integers(0, 7), st.integers(0, 7))
+pattern_sets = st.frozensets(index_pairs, max_size=30)
+
+
+@given(a=pattern_sets, b=pattern_sets)
+@settings(max_examples=60, deadline=None)
+def test_mes_is_symmetric_and_bounded(a, b):
+    pa = SparsityPattern(8, a)
+    pb = SparsityPattern(8, b)
+    similarity = matrix_edit_similarity(pa, pb)
+    assert 0.0 <= similarity <= 1.0
+    assert similarity == pytest.approx(matrix_edit_similarity(pb, pa))
+
+
+@given(a=pattern_sets, b=pattern_sets)
+@settings(max_examples=60, deadline=None)
+def test_union_contains_both_and_intersection_contained(a, b):
+    pa = SparsityPattern(8, a)
+    pb = SparsityPattern(8, b)
+    union = pa | pb
+    intersection = pa & pb
+    assert pa <= union and pb <= union
+    assert intersection <= pa and intersection <= pb
+
+
+@given(a=pattern_sets)
+@settings(max_examples=40, deadline=None)
+def test_transpose_is_involution(a):
+    pattern = SparsityPattern(8, a)
+    assert pattern.transpose().transpose() == pattern
