@@ -22,7 +22,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.errors import DimensionError
-from repro.lu.solve import solve_reordered_system
+from repro.lu.solve import solve_reordered_system, solve_reordered_system_many
 from repro.sparse.csr import SparseMatrix
 from repro.sparse.permutation import Ordering
 
@@ -96,6 +96,14 @@ class MatrixDecomposition:
     def solve(self, b: Sequence[float]) -> np.ndarray:
         """Solve ``A_i x = b`` using the stored factors and ordering."""
         return solve_reordered_system(self.factors, self.ordering, b)
+
+    def solve_many(self, block) -> np.ndarray:
+        """Solve ``A_i X = B`` for an ``(n, k)`` block in one batched sweep.
+
+        Each result column is bitwise identical to :meth:`solve` of the
+        matching input column.
+        """
+        return solve_reordered_system_many(self.factors, self.ordering, block)
 
 
 @dataclasses.dataclass
@@ -187,6 +195,19 @@ class SequenceResult:
         vector against every snapshot.
         """
         return [decomposition.solve(b) for decomposition in self.decompositions]
+
+    def solve_many(self, index: int, block) -> np.ndarray:
+        """Solve ``A_index X = B`` for an ``(n, k)`` block of right-hand sides."""
+        return self.decompositions[index].solve_many(block)
+
+    def solve_all_many(self, block) -> List[np.ndarray]:
+        """Solve every snapshot against the same ``(n, k)`` block of queries.
+
+        One batched forward/backward sweep per snapshot replaces ``k`` scalar
+        solves — the multi-query analogue of :meth:`solve_all` used by
+        measure time series with many seeds.
+        """
+        return [decomposition.solve_many(block) for decomposition in self.decompositions]
 
     def quality_losses(
         self, matrices: Sequence[SparseMatrix], reference

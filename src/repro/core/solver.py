@@ -111,6 +111,15 @@ class EMSSolver:
         result = self.decompose()
         return result.solve(index, b)
 
+    def solve_many(self, index: int, block) -> np.ndarray:
+        """Solve ``A_index X = B`` for an ``(n, k)`` block of right-hand sides.
+
+        One batched forward/backward sweep answers all ``k`` queries; each
+        result column is bitwise identical to :meth:`solve` of that column.
+        """
+        result = self.decompose()
+        return result.solve_many(index, block)
+
     def solve_series(self, b: Sequence[float]) -> np.ndarray:
         """Solve every snapshot against the same right-hand side.
 
@@ -119,6 +128,17 @@ class EMSSolver:
         """
         result = self.decompose()
         return np.array(result.solve_all(b))
+
+    def solve_series_batched(self, block) -> np.ndarray:
+        """Solve every snapshot against an ``(n, k)`` block of right-hand sides.
+
+        Issues one batched solve per snapshot instead of ``k`` scalar solves —
+        the fast path for multi-seed PageRank/RWR/PPR time series.  Returns an
+        array of shape ``(T, n, k)``; slice ``[:, :, c]`` is bitwise identical
+        to :meth:`solve_series` of column ``c``.
+        """
+        result = self.decompose()
+        return np.array(result.solve_all_many(block))
 
     def verify(self, tolerance: float = 1e-7) -> float:
         """Return the maximum solve residual across snapshots for a probe query.

@@ -12,9 +12,13 @@ from repro.lu.mindegree import (
 )
 from repro.lu.solve import (
     backward_substitution,
+    backward_substitution_many,
     forward_substitution,
+    forward_substitution_many,
     solve_factored,
+    solve_factored_many,
     solve_reordered_system,
+    solve_reordered_system_many,
 )
 from repro.lu.static_structure import StaticLUFactors
 from repro.lu.symbolic import (
@@ -43,9 +47,13 @@ __all__ = [
     "fill_in_count",
     "symbolic_pattern_size",
     "forward_substitution",
+    "forward_substitution_many",
     "backward_substitution",
+    "backward_substitution_many",
     "solve_factored",
+    "solve_factored_many",
     "solve_reordered_system",
+    "solve_reordered_system_many",
     "gaussian_elimination_solve",
     "factors_are_valid",
     "reconstruction_error",

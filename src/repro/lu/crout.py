@@ -103,9 +103,11 @@ def crout_decompose_into(
     upper_rows: List[dict] = [dict() for _ in range(n)]
 
     for i in range(n):
-        work = {j: matrix.get(i, j) for j in row_columns[i]}
+        # One vectorized row extraction replaces a per-entry binary search.
+        stored = matrix.row(i)
+        work = {j: stored.get(j, 0.0) for j in row_columns[i]}
         if i not in work:
-            work[i] = matrix.get(i, i)
+            work[i] = stored.get(i, 0.0)
         for k in sorted(j for j in work if j < i):
             l_ik = work[k]
             if l_ik == 0.0:

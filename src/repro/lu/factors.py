@@ -35,6 +35,7 @@ import numpy as np
 
 from repro.errors import DimensionError
 from repro.sparse.csr import SparseMatrix
+from repro.sparse.kernels import solve_factored_many
 from repro.sparse.lil import AdjacencyListMatrix
 from repro.sparse.pattern import SparsityPattern
 
@@ -120,6 +121,18 @@ class LUFactors:
     def u_items(self) -> Iterator[Tuple[int, int, float]]:
         """Iterate over stored entries of ``U`` (excluding the unit diagonal)."""
         yield from self._upper.items()
+
+    # ------------------------------------------------------------------ #
+    # Solving
+    # ------------------------------------------------------------------ #
+    def solve_many(self, block) -> np.ndarray:
+        """Solve ``(L U) X = B`` for a dense ``(n, k)`` block of right-hand sides.
+
+        One forward and one backward sweep answer all ``k`` columns at once;
+        each column is bitwise identical to a scalar
+        :func:`repro.lu.solve.solve_factored` of that column.
+        """
+        return solve_factored_many(self, block)
 
     # ------------------------------------------------------------------ #
     # Aggregate views

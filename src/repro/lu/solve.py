@@ -6,6 +6,13 @@ and one backward substitution (paper Section 2.1/2.2):
     A x = b   ⇔   A^O (Q^{-1} x) = P b   ⇔   L (U x') = b'
 
 so ``x' = backward(U, forward(L, P b))`` and ``x = Q x'``.
+
+A whole block of right-hand sides (e.g. the 64 query vectors of a proximity
+sweep) is handled by the ``*_many`` variants, which run the same sweeps once
+with column-vectorized updates instead of once per right-hand side.  The
+scalar routines are thin ``k = 1`` wrappers around the batched kernels in
+:mod:`repro.sparse.kernels`, so scalar and batched answers are bitwise
+identical column for column.
 """
 
 from __future__ import annotations
@@ -14,49 +21,55 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.errors import DimensionError, SingularMatrixError
+from repro.errors import DimensionError
+from repro.sparse.kernels import (
+    PIVOT_TOLERANCE,
+    backward_substitution_many,
+    backward_substitution_single,
+    forward_substitution_many,
+    forward_substitution_single,
+    solve_factored_many,
+)
 from repro.sparse.permutation import Ordering
 
-#: Pivots below this magnitude abort a triangular solve.
-PIVOT_TOLERANCE = 1e-12
+__all__ = [
+    "PIVOT_TOLERANCE",
+    "forward_substitution",
+    "backward_substitution",
+    "forward_substitution_many",
+    "backward_substitution_many",
+    "solve_factored",
+    "solve_factored_many",
+    "solve_reordered_system",
+    "solve_reordered_system_many",
+]
+
+
+def _as_vector(factors, b: Sequence[float]) -> np.ndarray:
+    """Validate a scalar right-hand side and return a float64 working copy."""
+    n = factors.n
+    vector = np.array(b, dtype=float)
+    if vector.shape != (n,):
+        raise DimensionError(
+            f"right-hand side of shape {vector.shape} incompatible with n={n}"
+        )
+    return vector
 
 
 def forward_substitution(factors, b: Sequence[float]) -> np.ndarray:
     """Solve ``L y = b`` where ``L`` is the lower factor of ``factors``.
 
     Uses the column-oriented (outer-product) sweep, which matches the
-    column-major storage of ``L`` in both factor containers.
+    column-major storage of ``L`` in both factor containers.  The operation
+    sequence is identical to :func:`forward_substitution_many`, so the result
+    is bitwise equal to the matching column of a batched solve.
     """
-    n = factors.n
-    y = np.array(b, dtype=float)
-    if y.shape != (n,):
-        raise DimensionError(f"right-hand side of shape {y.shape} incompatible with n={n}")
-    for j in range(n):
-        pivot = factors.l_diagonal(j)
-        if abs(pivot) <= PIVOT_TOLERANCE:
-            raise SingularMatrixError(j, pivot)
-        y[j] = y[j] / pivot
-        yj = y[j]
-        if yj != 0.0:
-            for i, value in factors.l_column_entries(j):
-                if value != 0.0:
-                    y[i] -= value * yj
-    return y
+    return forward_substitution_single(factors, _as_vector(factors, b))
 
 
 def backward_substitution(factors, y: Sequence[float]) -> np.ndarray:
     """Solve ``U x = y`` where ``U`` is the unit upper factor of ``factors``."""
-    n = factors.n
-    x = np.array(y, dtype=float)
-    if x.shape != (n,):
-        raise DimensionError(f"right-hand side of shape {x.shape} incompatible with n={n}")
-    for i in range(n - 1, -1, -1):
-        total = x[i]
-        for j, value in factors.u_row_entries(i):
-            if value != 0.0:
-                total -= value * x[j]
-        x[i] = total
-    return x
+    return backward_substitution_single(factors, _as_vector(factors, y))
 
 
 def solve_factored(factors, b: Sequence[float]) -> np.ndarray:
@@ -91,3 +104,21 @@ def solve_reordered_system(
     b_prime = ordering.permute_rhs(b)
     x_prime = solve_factored(factors, b_prime)
     return ordering.unpermute_solution(x_prime)
+
+
+def solve_reordered_system_many(
+    factors,
+    ordering: Optional[Ordering],
+    block: Sequence[Sequence[float]],
+) -> np.ndarray:
+    """Solve ``A X = B`` for a dense ``(n, k)`` block of right-hand sides.
+
+    The batched analogue of :func:`solve_reordered_system`: one forward and
+    one backward sweep answer all ``k`` columns, and each column of the
+    result is bitwise identical to a scalar solve of that column.
+    """
+    if ordering is None:
+        return solve_factored_many(factors, block)
+    b_prime = ordering.permute_rhs_many(block)
+    x_prime = solve_factored_many(factors, b_prime)
+    return ordering.unpermute_solution_many(x_prime)

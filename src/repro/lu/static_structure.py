@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.errors import DimensionError, PatternError
 from repro.sparse.csr import SparseMatrix
+from repro.sparse.kernels import solve_factored_many
 from repro.sparse.pattern import SparsityPattern
 
 
@@ -195,6 +196,17 @@ class StaticLUFactors:
             for j, value in zip(self._u_row_cols[i], self._u_row_values[i]):
                 if value != 0.0:
                     yield i, j, value
+
+    # ------------------------------------------------------------------ #
+    # Solving
+    # ------------------------------------------------------------------ #
+    def solve_many(self, block) -> np.ndarray:
+        """Solve ``(L U) X = B`` for a dense ``(n, k)`` block of right-hand sides.
+
+        Same batched sweeps as :meth:`repro.lu.factors.LUFactors.solve_many`;
+        the static structure only changes how the factor entries are stored.
+        """
+        return solve_factored_many(self, block)
 
     # ------------------------------------------------------------------ #
     # Aggregate views

@@ -18,7 +18,7 @@ from repro.graphs.matrixkind import DEFAULT_DAMPING, MatrixKind, measure_matrix
 from repro.graphs.snapshot import GraphSnapshot
 from repro.lu.crout import crout_decompose
 from repro.lu.markowitz import markowitz_ordering
-from repro.lu.solve import solve_reordered_system
+from repro.lu.solve import solve_reordered_system, solve_reordered_system_many
 from repro.sparse.csr import SparseMatrix
 from repro.sparse.permutation import Ordering
 
@@ -76,6 +76,15 @@ class SnapshotMeasureSolver:
     def solve(self, b: Sequence[float]) -> np.ndarray:
         """Solve ``A x = b`` using the cached factors."""
         return solve_reordered_system(self._factors, self._ordering, b)
+
+    def solve_many(self, block) -> np.ndarray:
+        """Solve ``A X = B`` for an ``(n, k)`` block of measure queries.
+
+        One batched substitution sweep answers all ``k`` queries (e.g. RWR
+        from many start nodes, or PPR for many seed sets); each result column
+        is bitwise identical to :meth:`solve` of that column.
+        """
+        return solve_reordered_system_many(self._factors, self._ordering, block)
 
 
 def normalize_distribution(vector: np.ndarray) -> np.ndarray:

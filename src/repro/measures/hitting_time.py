@@ -34,10 +34,13 @@ from repro.sparse.vector import unit_vector
 def _row_stochastic(snapshot: GraphSnapshot) -> SparseMatrix:
     """Return the row-stochastic transition matrix ``P`` of the snapshot."""
     out_degrees = snapshot.out_degrees()
-    return SparseMatrix.from_triples(
-        snapshot.n,
-        ((u, v, 1.0 / out_degrees[u]) for u, v in snapshot.edges),
-    )
+    edges = sorted(snapshot.edges)
+    if not edges:
+        return SparseMatrix.zeros(snapshot.n)
+    sources = np.array([u for u, _ in edges], dtype=np.int64)
+    targets = np.array([v for _, v in edges], dtype=np.int64)
+    weights = 1.0 / np.array([out_degrees[u] for u in sources.tolist()], dtype=np.float64)
+    return SparseMatrix.from_coo(snapshot.n, sources, targets, weights)
 
 
 def discounted_hitting_scores(
@@ -57,14 +60,16 @@ def discounted_hitting_scores(
     if not 0 <= target < n:
         raise MeasureError(f"target node {target} out of bounds for n={n}")
     transition = _row_stochastic(snapshot)
-    # Mask the target row: its equation is simply h(target) = 1.
-    entries = {}
-    for i, j, value in transition.items():
-        if i != target:
-            entries[(i, j)] = -damping * value
-    for i in range(n):
-        entries[(i, i)] = entries.get((i, i), 0.0) + 1.0
-    system = SparseMatrix(n, entries)
+    # Mask the target row (its equation is simply h(target) = 1) and add the
+    # identity — all on the COO arrays, with duplicate positions summed.
+    rows, cols, vals = transition.coo()
+    keep = rows != target
+    system = SparseMatrix.from_coo(
+        n,
+        np.concatenate([rows[keep], np.arange(n, dtype=np.int64)]),
+        np.concatenate([cols[keep], np.arange(n, dtype=np.int64)]),
+        np.concatenate([-damping * vals[keep], np.ones(n, dtype=np.float64)]),
+    )
     rhs = unit_vector(n, target, 1.0)
     ordering = markowitz_ordering(system)
     factors = crout_decompose(ordering.apply(system))

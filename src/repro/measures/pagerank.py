@@ -59,6 +59,10 @@ def pagerank_series(
         egs, kind=MatrixKind.RANDOM_WALK, damping=damping
     )
     ems_solver = EMSSolver(ems, algorithm=algorithm, alpha=alpha)
-    solutions = ems_solver.solve_series(pagerank_rhs(egs.n, damping))
+    # Route through the batched kernel path (k = 1); columns of a batched
+    # solve are bitwise identical to scalar solves, so this changes nothing
+    # numerically while keeping the series on the vectorized sweeps.
+    rhs = pagerank_rhs(egs.n, damping)
+    solutions = ems_solver.solve_series_batched(rhs[:, None])[:, :, 0]
     node_list: List[int] = [int(node) for node in nodes]
     return solutions[:, node_list]

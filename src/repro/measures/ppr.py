@@ -37,6 +37,38 @@ def ppr_scores(
     return solver.solve(ppr_rhs(snapshot.n, seeds, damping))
 
 
+def ppr_many_rhs(
+    n: int,
+    seed_sets: Sequence[Iterable[int]],
+    damping: float = DEFAULT_DAMPING,
+) -> np.ndarray:
+    """Return the ``(n, k)`` block of PPR right-hand sides, one per seed set."""
+    if not len(seed_sets):
+        return np.zeros((n, 0), dtype=float)
+    return np.column_stack(
+        [ppr_rhs(n, seeds, damping) for seeds in seed_sets]
+    )
+
+
+def ppr_scores_many(
+    snapshot: GraphSnapshot,
+    seed_sets: Sequence[Iterable[int]],
+    damping: float = DEFAULT_DAMPING,
+    solver: Optional[SnapshotMeasureSolver] = None,
+) -> np.ndarray:
+    """Return PPR vectors for many seed sets in one batched solve.
+
+    Column ``c`` of the ``(n, k)`` result is bitwise identical to
+    ``ppr_scores(snapshot, seed_sets[c], ...)`` against the same solver.
+    This is the access pattern of the patent case study: one decomposition,
+    one batched sweep, one column per company seed set.
+    """
+    solver = solver or SnapshotMeasureSolver(
+        snapshot, kind=MatrixKind.RANDOM_WALK, damping=damping
+    )
+    return solver.solve_many(ppr_many_rhs(snapshot.n, seed_sets, damping))
+
+
 def ppr_group_proximity(
     snapshot: GraphSnapshot,
     seeds: Iterable[int],

@@ -12,6 +12,8 @@ vector at ``u``.  Large ``x_u(v)`` means ``v`` is close to ``u``.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from repro.graphs.matrixkind import DEFAULT_DAMPING, MatrixKind
@@ -48,6 +50,36 @@ def rwr_scores(
         snapshot, kind=MatrixKind.RANDOM_WALK, damping=damping
     )
     return solver.solve(rwr_rhs(snapshot.n, start_node, damping))
+
+
+def rwr_many_rhs(
+    n: int, start_nodes: Sequence[int], damping: float = DEFAULT_DAMPING
+) -> np.ndarray:
+    """Return the ``(n, k)`` block of RWR right-hand sides, one per start node."""
+    if not len(start_nodes):
+        return np.zeros((n, 0), dtype=float)
+    return np.column_stack(
+        [rwr_rhs(n, int(node), damping) for node in start_nodes]
+    )
+
+
+def rwr_scores_many(
+    snapshot: GraphSnapshot,
+    start_nodes: Sequence[int],
+    damping: float = DEFAULT_DAMPING,
+    solver: SnapshotMeasureSolver | None = None,
+) -> np.ndarray:
+    """Return RWR distributions for many start nodes in one batched solve.
+
+    Column ``c`` of the ``(n, k)`` result is bitwise identical to
+    ``rwr_scores(snapshot, start_nodes[c], ...)`` against the same solver —
+    the decomposition is reused and a single forward/backward sweep answers
+    every start node.
+    """
+    solver = solver or SnapshotMeasureSolver(
+        snapshot, kind=MatrixKind.RANDOM_WALK, damping=damping
+    )
+    return solver.solve_many(rwr_many_rhs(snapshot.n, start_nodes, damping))
 
 
 def rwr_proximity(

@@ -19,8 +19,8 @@ from repro.graphs.egs import EvolvingGraphSequence
 from repro.graphs.ems import EvolvingMatrixSequence
 from repro.graphs.matrixkind import DEFAULT_DAMPING, MatrixKind
 from repro.measures.pagerank import pagerank_rhs
-from repro.measures.ppr import ppr_rhs
-from repro.measures.rwr import rwr_rhs
+from repro.measures.ppr import ppr_many_rhs, ppr_rhs
+from repro.measures.rwr import rwr_many_rhs, rwr_rhs
 
 
 class MeasureSeries:
@@ -89,6 +89,28 @@ class MeasureSeries:
         if targets is None:
             return solutions
         return solutions[:, [int(node) for node in targets]]
+
+    def rwr_many(self, start_nodes: Sequence[int]) -> np.ndarray:
+        """Return RWR series for many start nodes, shape ``(T, n, k)``.
+
+        Each snapshot issues one batched solve for all ``k`` start nodes
+        instead of ``k`` scalar solves; slice ``[:, :, c]`` is bitwise
+        identical to ``self.rwr(start_nodes[c])``.
+        """
+        return self._solver.solve_series_batched(
+            rwr_many_rhs(self._egs.n, start_nodes, self._damping)
+        )
+
+    def ppr_many(self, seed_sets: Sequence[Iterable[int]]) -> np.ndarray:
+        """Return PPR series for many seed sets, shape ``(T, n, k)``.
+
+        The batched counterpart of :meth:`ppr`: one solve per snapshot covers
+        every seed set; slice ``[:, :, c]`` is bitwise identical to
+        ``self.ppr(seed_sets[c])``.
+        """
+        return self._solver.solve_series_batched(
+            ppr_many_rhs(self._egs.n, seed_sets, self._damping)
+        )
 
     def group_proximity_series(
         self, seeds: Iterable[int], groups: Sequence[Sequence[int]]

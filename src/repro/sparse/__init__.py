@@ -1,5 +1,6 @@
-"""Sparse-matrix substrate: patterns, matrices, adjacency lists and orderings."""
+"""Sparse-matrix substrate: patterns, matrices, adjacency lists, orderings and kernels."""
 
+from repro.sparse import kernels
 from repro.sparse.csr import SparseMatrix, column_normalized_adjacency
 from repro.sparse.lil import AdjacencyListMatrix
 from repro.sparse.pattern import SparsityPattern, matrix_edit_similarity
@@ -15,4 +16,5 @@ __all__ = [
     "natural_ordering",
     "random_ordering",
     "column_normalized_adjacency",
+    "kernels",
 ]

@@ -1,4 +1,4 @@
-"""An immutable sparse matrix stored in compressed-sparse-row form.
+"""An immutable sparse matrix stored in true compressed-sparse-row form.
 
 :class:`SparseMatrix` is the exchange format used throughout the library:
 evolving matrix sequences hold one per snapshot, orderings produce reordered
@@ -6,26 +6,55 @@ copies, and the LU engines consume it when building their own working
 structures.  It deliberately supports only the operations the algorithms in
 the paper need (element access, row/column iteration, matrix-vector products,
 pattern extraction, reordering, and element-wise deltas between snapshots).
+
+Storage layout
+--------------
+Entries live in three parallel NumPy arrays — the classic CSR triple:
+
+* ``indptr``  — ``int64[n + 1]``; row ``i`` occupies slots
+  ``indptr[i]:indptr[i + 1]``,
+* ``indices`` — ``int64[nnz]``; column indices, strictly increasing inside
+  each row,
+* ``data``    — ``float64[nnz]``; the values, exact zeros never stored.
+
+All three arrays are marked read-only, so the container is immutable down to
+the buffer level: every transformation returns a new matrix, and the hot
+paths (``matvec``, ``rmatvec``, ``delta_entries``, ``permuted``) are
+vectorized kernels from :mod:`repro.sparse.kernels` rather than Python loops.
+Iteration (``items()``) is therefore deterministic: row-major, ascending
+column within each row.
 """
 
 from __future__ import annotations
 
-import math
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import DimensionError
+from repro.sparse import kernels
 from repro.sparse.pattern import SparsityPattern
 from repro.sparse.types import Entries, Index, Triples
 
 _DEFAULT_TOLERANCE = 0.0
 
 
-class SparseMatrix:
-    """An ``n x n`` sparse matrix with float64 values.
+def _check_bounds(n: int, rows: np.ndarray, cols: np.ndarray) -> None:
+    """Raise :class:`DimensionError` naming the first out-of-bounds index."""
+    bad = (rows < 0) | (rows >= n) | (cols < 0) | (cols >= n)
+    if np.any(bad):
+        position = int(np.argmax(bad))
+        raise DimensionError(
+            f"index ({int(rows[position])}, {int(cols[position])}) "
+            f"out of bounds for a {n}x{n} matrix"
+        )
 
-    Instances are immutable: every transformation returns a new matrix.
+
+class SparseMatrix:
+    """An ``n x n`` sparse matrix with float64 values in CSR storage.
+
+    Instances are immutable: the backing ``indptr`` / ``indices`` / ``data``
+    arrays are read-only and every transformation returns a new matrix.
 
     Parameters
     ----------
@@ -35,29 +64,50 @@ class SparseMatrix:
         Mapping from ``(row, column)`` to value.  Exact zeros are dropped.
     """
 
-    __slots__ = ("_n", "_rows", "_nnz")
+    __slots__ = ("_n", "_indptr", "_indices", "_data", "_row_ids")
 
     def __init__(self, n: int, entries: Optional[Entries] = None) -> None:
         if n < 0:
             raise DimensionError(f"matrix dimension must be non-negative, got {n}")
-        self._n = n
-        rows: List[Dict[int, float]] = [dict() for _ in range(n)]
-        nnz = 0
+        self._n = int(n)
         if entries:
-            for (i, j), value in entries.items():
-                i = int(i)
-                j = int(j)
-                if not (0 <= i < n and 0 <= j < n):
-                    raise DimensionError(
-                        f"index ({i}, {j}) out of bounds for a {n}x{n} matrix"
-                    )
-                value = float(value)
-                if value != 0.0:
-                    if j not in rows[i]:
-                        nnz += 1
-                    rows[i][j] = value
-        self._rows = rows
-        self._nnz = nnz
+            keys = np.array([(int(i), int(j)) for i, j in entries.keys()], dtype=np.int64)
+            rows = keys[:, 0]
+            cols = keys[:, 1]
+            vals = np.fromiter(
+                (float(v) for v in entries.values()), dtype=np.float64, count=len(entries)
+            )
+            _check_bounds(n, rows, cols)
+            # Dict keys are unique, so no duplicate summing is needed.
+            arrays = kernels.csr_from_coo(n, rows, cols, vals, sum_duplicates=False)
+        else:
+            arrays = kernels.csr_from_coo(
+                n, np.zeros(0, np.int64), np.zeros(0, np.int64), np.zeros(0, np.float64)
+            )
+        self._adopt(*arrays)
+
+    def _adopt(
+        self, indptr: np.ndarray, indices: np.ndarray, data: np.ndarray
+    ) -> None:
+        """Install canonical CSR arrays and freeze them."""
+        for array in (indptr, indices, data):
+            array.setflags(write=False)
+        self._indptr = indptr
+        self._indices = indices
+        self._data = data
+        row_ids = kernels.expand_row_ids(self._n, indptr)
+        row_ids.setflags(write=False)
+        self._row_ids = row_ids
+
+    @classmethod
+    def _from_csr(
+        cls, n: int, indptr: np.ndarray, indices: np.ndarray, data: np.ndarray
+    ) -> "SparseMatrix":
+        """Wrap already-canonical CSR arrays (internal fast path)."""
+        matrix = cls.__new__(cls)
+        matrix._n = n
+        matrix._adopt(indptr, indices, data)
+        return matrix
 
     # ------------------------------------------------------------------ #
     # Constructors
@@ -68,11 +118,68 @@ class SparseMatrix:
 
         Duplicate indices are summed, mirroring COO-format semantics.
         """
-        entries: Entries = {}
+        rows_list: List[int] = []
+        cols_list: List[int] = []
+        vals_list: List[float] = []
         for i, j, value in triples:
-            key = (int(i), int(j))
-            entries[key] = entries.get(key, 0.0) + float(value)
-        return cls(n, entries)
+            rows_list.append(int(i))
+            cols_list.append(int(j))
+            vals_list.append(float(value))
+        return cls.from_coo(n, rows_list, cols_list, vals_list)
+
+    @classmethod
+    def from_coo(
+        cls,
+        n: int,
+        rows: Sequence[int],
+        cols: Sequence[int],
+        values: Sequence[float],
+    ) -> "SparseMatrix":
+        """Build a matrix from parallel COO arrays (duplicates are summed)."""
+        if n < 0:
+            raise DimensionError(f"matrix dimension must be non-negative, got {n}")
+        rows_arr = np.asarray(rows, dtype=np.int64)
+        cols_arr = np.asarray(cols, dtype=np.int64)
+        vals_arr = np.asarray(values, dtype=np.float64)
+        if not (rows_arr.shape == cols_arr.shape == vals_arr.shape):
+            raise DimensionError(
+                f"COO arrays have mismatched lengths: "
+                f"{rows_arr.size}, {cols_arr.size}, {vals_arr.size}"
+            )
+        _check_bounds(n, rows_arr, cols_arr)
+        return cls._from_csr(
+            n, *kernels.csr_from_coo(n, rows_arr, cols_arr, vals_arr)
+        )
+
+    @classmethod
+    def from_csr_arrays(
+        cls,
+        n: int,
+        indptr: Sequence[int],
+        indices: Sequence[int],
+        data: Sequence[float],
+    ) -> "SparseMatrix":
+        """Build a matrix directly from CSR arrays (the builder lowering path).
+
+        Rows may hold unsorted or duplicate columns; the input is
+        canonicalized (sorted, duplicates summed, zeros dropped).
+        """
+        if n < 0:
+            raise DimensionError(f"matrix dimension must be non-negative, got {n}")
+        indptr_arr = np.asarray(indptr, dtype=np.int64)
+        indices_arr = np.asarray(indices, dtype=np.int64)
+        data_arr = np.asarray(data, dtype=np.float64)
+        if indptr_arr.shape != (n + 1,) or indptr_arr[0] != 0:
+            raise DimensionError(f"indptr must have shape ({n + 1},) and start at 0")
+        if np.any(np.diff(indptr_arr) < 0) or indptr_arr[-1] != indices_arr.size:
+            raise DimensionError("indptr must be non-decreasing and end at nnz")
+        if indices_arr.shape != data_arr.shape:
+            raise DimensionError(
+                f"indices/data length mismatch: {indices_arr.size} vs {data_arr.size}"
+            )
+        rows = kernels.expand_row_ids(n, indptr_arr)
+        _check_bounds(n, rows, indices_arr)
+        return cls._from_csr(n, *kernels.csr_from_coo(n, rows, indices_arr, data_arr))
 
     @classmethod
     def from_dense(cls, dense: Sequence[Sequence[float]]) -> "SparseMatrix":
@@ -81,16 +188,24 @@ class SparseMatrix:
         if array.ndim != 2 or array.shape[0] != array.shape[1]:
             raise DimensionError(f"expected a square 2-D array, got shape {array.shape}")
         n = array.shape[0]
-        entries: Entries = {}
-        nonzero_rows, nonzero_cols = np.nonzero(array)
-        for i, j in zip(nonzero_rows.tolist(), nonzero_cols.tolist()):
-            entries[(i, j)] = float(array[i, j])
-        return cls(n, entries)
+        rows, cols = np.nonzero(array)
+        return cls._from_csr(
+            n,
+            *kernels.csr_from_coo(
+                n, rows.astype(np.int64), cols.astype(np.int64), array[rows, cols]
+            ),
+        )
 
     @classmethod
     def identity(cls, n: int) -> "SparseMatrix":
         """Return the ``n x n`` identity matrix."""
-        return cls(n, {(i, i): 1.0 for i in range(n)})
+        diag = np.arange(n, dtype=np.int64)
+        return cls._from_csr(
+            n,
+            np.arange(n + 1, dtype=np.int64),
+            diag,
+            np.ones(n, dtype=np.float64),
+        )
 
     @classmethod
     def zeros(cls, n: int) -> "SparseMatrix":
@@ -112,8 +227,31 @@ class SparseMatrix:
 
     @property
     def nnz(self) -> int:
-        """Number of stored (non-zero) entries."""
-        return self._nnz
+        """Number of stored (non-zero) entries: the length of ``data``."""
+        return int(self._data.size)
+
+    @property
+    def indptr(self) -> np.ndarray:
+        """Row pointer array (read-only view, length ``n + 1``)."""
+        return self._indptr
+
+    @property
+    def indices(self) -> np.ndarray:
+        """Column index array (read-only view, length ``nnz``)."""
+        return self._indices
+
+    @property
+    def data(self) -> np.ndarray:
+        """Value array (read-only view, length ``nnz``)."""
+        return self._data
+
+    def csr_arrays(self) -> kernels.CSRArrays:
+        """Return the ``(indptr, indices, data)`` triple (read-only views)."""
+        return self._indptr, self._indices, self._data
+
+    def coo(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return ``(rows, cols, values)`` COO views in row-major order."""
+        return self._row_ids, self._indices, self._data
 
     def get(self, i: int, j: int) -> float:
         """Return the value at ``(i, j)`` (0.0 when the entry is absent)."""
@@ -121,29 +259,46 @@ class SparseMatrix:
             raise DimensionError(
                 f"index ({i}, {j}) out of bounds for a {self._n}x{self._n} matrix"
             )
-        return self._rows[i].get(j, 0.0)
+        start, end = int(self._indptr[i]), int(self._indptr[i + 1])
+        position = int(np.searchsorted(self._indices[start:end], j)) + start
+        if position < end and self._indices[position] == j:
+            return float(self._data[position])
+        return 0.0
 
     def __getitem__(self, index: Index) -> float:
         i, j = index
         return self.get(i, j)
 
+    def _row_bounds(self, i: int) -> Tuple[int, int]:
+        if not 0 <= i < self._n:
+            raise DimensionError(
+                f"row index {i} out of bounds for a {self._n}x{self._n} matrix"
+            )
+        return int(self._indptr[i]), int(self._indptr[i + 1])
+
     def row(self, i: int) -> Dict[int, float]:
-        """Return a copy of row ``i`` as a ``{column: value}`` mapping."""
-        return dict(self._rows[i])
+        """Return row ``i`` as a ``{column: value}`` mapping (ascending columns)."""
+        start, end = self._row_bounds(i)
+        return dict(zip(self._indices[start:end].tolist(), self._data[start:end].tolist()))
 
     def row_items(self, i: int) -> Iterator[Tuple[int, float]]:
-        """Iterate over ``(column, value)`` pairs of row ``i``."""
-        return iter(self._rows[i].items())
+        """Iterate over ``(column, value)`` pairs of row ``i`` in column order."""
+        start, end = self._row_bounds(i)
+        return zip(self._indices[start:end].tolist(), self._data[start:end].tolist())
 
     def column(self, j: int) -> Dict[int, float]:
         """Return column ``j`` as a ``{row: value}`` mapping (O(nnz) scan)."""
-        return {i: row[j] for i, row in enumerate(self._rows) if j in row}
+        mask = self._indices == j
+        return dict(zip(self._row_ids[mask].tolist(), self._data[mask].tolist()))
 
     def items(self) -> Iterator[Tuple[int, int, float]]:
-        """Iterate over all stored entries as ``(row, column, value)`` triples."""
-        for i, row in enumerate(self._rows):
-            for j, value in row.items():
-                yield i, j, value
+        """Iterate over all stored entries as ``(row, column, value)`` triples.
+
+        Order is deterministic: row-major, ascending column within each row.
+        """
+        return zip(
+            self._row_ids.tolist(), self._indices.tolist(), self._data.tolist()
+        )
 
     def entries(self) -> Entries:
         """Return all stored entries as a ``{(row, column): value}`` dict."""
@@ -151,13 +306,14 @@ class SparseMatrix:
 
     def pattern(self) -> SparsityPattern:
         """Return the sparsity pattern ``sp(A)`` of this matrix."""
-        return SparsityPattern(self._n, ((i, j) for i, j, _ in self.items()))
+        return SparsityPattern(
+            self._n, zip(self._row_ids.tolist(), self._indices.tolist())
+        )
 
     def to_dense(self) -> np.ndarray:
         """Return a dense float64 copy of the matrix."""
         dense = np.zeros((self._n, self._n), dtype=float)
-        for i, j, value in self.items():
-            dense[i, j] = value
+        dense[self._row_ids, self._indices] = self._data
         return dense
 
     # ------------------------------------------------------------------ #
@@ -165,20 +321,25 @@ class SparseMatrix:
     # ------------------------------------------------------------------ #
     def is_symmetric(self, tolerance: float = 1e-12) -> bool:
         """Return ``True`` when ``A`` equals its transpose within ``tolerance``."""
-        for i, j, value in self.items():
-            if abs(self.get(j, i) - value) > tolerance:
-                return False
-        return True
+        transposed = kernels.csr_transpose(self._n, *self.csr_arrays())
+        _, _, own, other = kernels.csr_aligned_values(
+            self._n, self.csr_arrays(), transposed
+        )
+        if own.size == 0:
+            return True
+        return bool(np.max(np.abs(own - other)) <= tolerance)
 
     def is_diagonally_dominant(self) -> bool:
         """Return ``True`` when every row is weakly diagonally dominant."""
-        for i in range(self._n):
-            row = self._rows[i]
-            diagonal = abs(row.get(i, 0.0))
-            off_diagonal = sum(abs(v) for j, v in row.items() if j != i)
-            if diagonal + 1e-15 < off_diagonal:
-                return False
-        return True
+        on_diagonal = self._row_ids == self._indices
+        diagonal = np.zeros(self._n, dtype=np.float64)
+        diagonal[self._row_ids[on_diagonal]] = self._data[on_diagonal]
+        off = np.bincount(
+            self._row_ids[~on_diagonal],
+            weights=np.abs(self._data[~on_diagonal]),
+            minlength=self._n,
+        )[: self._n]
+        return bool(np.all(np.abs(diagonal) + 1e-15 >= off))
 
     # ------------------------------------------------------------------ #
     # Algebra
@@ -190,13 +351,10 @@ class SparseMatrix:
             raise DimensionError(
                 f"vector of length {vector.shape} incompatible with n={self._n}"
             )
-        result = np.zeros(self._n, dtype=float)
-        for i, row in enumerate(self._rows):
-            total = 0.0
-            for j, value in row.items():
-                total += value * vector[j]
-            result[i] = total
-        return result
+        return kernels.csr_matvec(
+            self._n, self._indptr, self._indices, self._data, vector,
+            row_ids=self._row_ids,
+        )
 
     def rmatvec(self, x: Sequence[float]) -> np.ndarray:
         """Return ``A.T @ x`` for a dense vector ``x``."""
@@ -205,32 +363,59 @@ class SparseMatrix:
             raise DimensionError(
                 f"vector of length {vector.shape} incompatible with n={self._n}"
             )
-        result = np.zeros(self._n, dtype=float)
-        for i, row in enumerate(self._rows):
-            xi = vector[i]
-            if xi == 0.0:
-                continue
-            for j, value in row.items():
-                result[j] += value * xi
-        return result
+        return kernels.csr_rmatvec(self._n, self._indptr, self._indices, self._data, vector)
+
+    def matmat(self, block: Sequence[Sequence[float]]) -> np.ndarray:
+        """Return ``A @ X`` for a dense ``(n, k)`` block of column vectors.
+
+        Each output column is bitwise identical to ``matvec`` of the matching
+        input column (see the determinism contract in
+        :mod:`repro.sparse.kernels`).
+        """
+        dense = np.asarray(block, dtype=float)
+        if dense.ndim != 2 or dense.shape[0] != self._n:
+            raise DimensionError(
+                f"block of shape {dense.shape} incompatible with n={self._n}"
+            )
+        return kernels.csr_matmat(
+            self._n, self._indptr, self._indices, self._data, dense,
+            row_ids=self._row_ids,
+        )
 
     def transpose(self) -> "SparseMatrix":
         """Return the transposed matrix."""
-        return SparseMatrix.from_triples(self._n, ((j, i, v) for i, j, v in self.items()))
+        return SparseMatrix._from_csr(
+            self._n, *kernels.csr_transpose(self._n, *self.csr_arrays())
+        )
 
     def scale(self, factor: float) -> "SparseMatrix":
-        """Return ``factor * A``."""
-        return SparseMatrix.from_triples(
-            self._n, ((i, j, factor * v) for i, j, v in self.items())
+        """Return ``factor * A`` (products that are exactly zero are dropped)."""
+        scaled = self._data * float(factor)
+        keep = scaled != 0.0
+        if np.all(keep):
+            # Structure unchanged: share the (read-only) index arrays.
+            return SparseMatrix._from_csr(self._n, self._indptr, self._indices, scaled)
+        indptr = np.zeros(self._n + 1, dtype=np.int64)
+        np.cumsum(
+            np.bincount(self._row_ids[keep], minlength=self._n)[: self._n],
+            out=indptr[1:],
+        )
+        return SparseMatrix._from_csr(
+            self._n, indptr, self._indices[keep], scaled[keep]
         )
 
     def add(self, other: "SparseMatrix") -> "SparseMatrix":
-        """Return ``A + B``."""
+        """Return ``A + B`` (entries that cancel exactly are dropped)."""
         self._check_compatible(other)
-        entries = self.entries()
-        for i, j, value in other.items():
-            entries[(i, j)] = entries.get((i, j), 0.0) + value
-        return SparseMatrix(self._n, entries)
+        return SparseMatrix._from_csr(
+            self._n,
+            *kernels.csr_from_coo(
+                self._n,
+                np.concatenate([self._row_ids, other._row_ids]),
+                np.concatenate([self._indices, other._indices]),
+                np.concatenate([self._data, other._data]),
+            ),
+        )
 
     def subtract(self, other: "SparseMatrix") -> "SparseMatrix":
         """Return ``A - B``."""
@@ -243,20 +428,17 @@ class SparseMatrix:
         """Return the entries of ``other - self`` whose magnitude exceeds ``tolerance``.
 
         This is the sparse "update matrix" ``ΔA`` that incremental decomposition
-        algorithms consume when moving from one snapshot to the next.
+        algorithms consume when moving from one snapshot to the next.  The
+        mapping iterates deterministically in row-major order.
         """
         self._check_compatible(other)
-        delta: Entries = {}
-        for i, j, value in other.items():
-            difference = value - self.get(i, j)
-            if abs(difference) > tolerance:
-                delta[(i, j)] = difference
-        for i, j, value in self.items():
-            if other.get(i, j) == 0.0 and (i, j) not in delta:
-                difference = -value
-                if abs(difference) > tolerance:
-                    delta[(i, j)] = difference
-        return delta
+        rows, cols, vals = kernels.csr_delta(
+            self._n, self.csr_arrays(), other.csr_arrays(), tolerance=tolerance
+        )
+        return {
+            (i, j): value
+            for i, j, value in zip(rows.tolist(), cols.tolist(), vals.tolist())
+        }
 
     def _check_compatible(self, other: "SparseMatrix") -> None:
         if self._n != other._n:
@@ -277,11 +459,18 @@ class SparseMatrix:
         """
         if len(row_perm) != self._n or len(col_perm) != self._n:
             raise DimensionError("permutation length does not match matrix dimension")
-        new_row_of = {original: new for new, original in enumerate(row_perm)}
-        new_col_of = {original: new for new, original in enumerate(col_perm)}
-        return SparseMatrix.from_triples(
+        for name, perm in (("row", row_perm), ("column", col_perm)):
+            perm_arr = np.asarray(perm, dtype=np.int64)
+            if perm_arr.size and (perm_arr.min() < 0 or perm_arr.max() >= self._n):
+                raise DimensionError(f"{name} permutation is not a permutation of 0..n-1")
+            counts = np.bincount(perm_arr, minlength=self._n)
+            if counts.size != self._n or np.any(counts != 1):
+                raise DimensionError(f"{name} permutation is not a permutation of 0..n-1")
+        return SparseMatrix._from_csr(
             self._n,
-            ((new_row_of[i], new_col_of[j], v) for i, j, v in self.items()),
+            *kernels.csr_permute(
+                self._n, self._indptr, self._indices, self._data, row_perm, col_perm
+            ),
         )
 
     # ------------------------------------------------------------------ #
@@ -290,22 +479,31 @@ class SparseMatrix:
     def allclose(self, other: "SparseMatrix", tolerance: float = 1e-9) -> bool:
         """Return ``True`` when both matrices agree entry-wise within ``tolerance``."""
         self._check_compatible(other)
-        keys = set(self.entries()) | set(other.entries())
-        return all(
-            math.isclose(self.get(i, j), other.get(i, j), abs_tol=tolerance, rel_tol=tolerance)
-            for i, j in keys
+        _, _, own, theirs = kernels.csr_aligned_values(
+            self._n, self.csr_arrays(), other.csr_arrays()
         )
+        if own.size == 0:
+            return True
+        limit = np.maximum(
+            tolerance * np.maximum(np.abs(own), np.abs(theirs)), tolerance
+        )
+        return bool(np.all(np.abs(own - theirs) <= limit))
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, SparseMatrix):
             return NotImplemented
-        return self._n == other._n and self.entries() == other.entries()
+        return (
+            self._n == other._n
+            and np.array_equal(self._indptr, other._indptr)
+            and np.array_equal(self._indices, other._indices)
+            and np.array_equal(self._data, other._data)
+        )
 
     def __hash__(self) -> int:  # pragma: no cover - matrices are rarely hashed
         return hash((self._n, frozenset(self.entries().items())))
 
     def __repr__(self) -> str:
-        return f"SparseMatrix(n={self._n}, nnz={self._nnz})"
+        return f"SparseMatrix(n={self._n}, nnz={self.nnz})"
 
 
 def column_normalized_adjacency(
@@ -317,15 +515,13 @@ def column_normalized_adjacency(
     ``W[j, i] = 1 / out_degree(i)``, matching footnote 1 of the paper.
     Dangling nodes (out-degree zero) contribute an empty column.
     """
-    out_degree: Dict[int, int] = {}
-    edge_list: List[Tuple[int, int]] = []
-    for i, j in edges:
-        i = int(i)
-        j = int(j)
-        if not (0 <= i < n and 0 <= j < n):
-            raise DimensionError(f"edge ({i}, {j}) out of bounds for n={n}")
-        out_degree[i] = out_degree.get(i, 0) + 1
-        edge_list.append((i, j))
-    return SparseMatrix.from_triples(
-        n, ((j, i, 1.0 / out_degree[i]) for i, j in edge_list)
+    edge_array = np.array([(int(i), int(j)) for i, j in edges], dtype=np.int64)
+    if edge_array.size == 0:
+        return SparseMatrix.zeros(n)
+    sources = edge_array[:, 0]
+    targets = edge_array[:, 1]
+    _check_bounds(n, sources, targets)
+    out_degree = np.bincount(sources, minlength=n)
+    return SparseMatrix.from_coo(
+        n, targets, sources, 1.0 / out_degree[sources].astype(np.float64)
     )

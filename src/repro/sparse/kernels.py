@@ -1,0 +1,340 @@
+"""Vectorized array kernels over the CSR substrate.
+
+Every hot inner loop of the library funnels through this module: sparse
+matrix-vector products, snapshot deltas, permutation gathers and the batched
+multi-right-hand-side triangular solves.  The kernels operate on the raw
+``indptr`` / ``indices`` / ``data`` arrays of a CSR matrix (plus the expanded
+per-entry row ids where that saves a pass), so :class:`~repro.sparse.csr.
+SparseMatrix` and the LU layer stay thin wrappers around NumPy calls instead
+of pure-Python loops.
+
+Determinism contract
+--------------------
+All reductions are performed with ``np.bincount`` (sequential per bin, input
+order) or with per-column elementwise scatter updates.  In particular the
+triangular-solve kernels use *only* elementwise operations, so solving a
+block of ``k`` right-hand sides is bitwise identical, column for column, to
+solving each column separately.  The scalar substitution routines in
+:mod:`repro.lu.solve` are thin ``k = 1`` wrappers around the batched kernels,
+which is what lets the test-suite assert bitwise equality between batched and
+scalar measure series.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import DimensionError, SingularMatrixError
+
+#: Pivots below this magnitude abort a triangular solve.
+PIVOT_TOLERANCE = 1e-12
+
+#: The canonical CSR triple: ``indptr`` (n+1), ``indices`` (nnz), ``data`` (nnz).
+CSRArrays = Tuple[np.ndarray, np.ndarray, np.ndarray]
+
+
+# ---------------------------------------------------------------------- #
+# Construction
+# ---------------------------------------------------------------------- #
+def csr_from_coo(
+    n: int,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    vals: np.ndarray,
+    sum_duplicates: bool = True,
+) -> CSRArrays:
+    """Canonicalize COO triples into CSR arrays.
+
+    The result is row-major with strictly increasing column indices inside
+    each row; duplicate positions are summed (in input order, matching the
+    sequential accumulation of the old dict-based builder) and exact zeros
+    are dropped *after* summation, so values that cancel disappear.
+    Indices are assumed to be in range.
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    cols = np.asarray(cols, dtype=np.int64)
+    vals = np.asarray(vals, dtype=np.float64)
+    if rows.size == 0:
+        return (
+            np.zeros(n + 1, dtype=np.int64),
+            np.zeros(0, dtype=np.int64),
+            np.zeros(0, dtype=np.float64),
+        )
+    keys = rows * np.int64(n) + cols
+    order = np.argsort(keys, kind="stable")
+    keys = keys[order]
+    vals = vals[order]
+    if sum_duplicates:
+        boundaries = np.flatnonzero(np.concatenate(([True], keys[1:] != keys[:-1])))
+        keys = keys[boundaries]
+        vals = np.add.reduceat(vals, boundaries)
+    nonzero = vals != 0.0
+    keys = keys[nonzero]
+    vals = vals[nonzero]
+    out_rows = keys // n
+    indices = keys - out_rows * n
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(np.bincount(out_rows, minlength=n), out=indptr[1:])
+    return indptr, indices, vals
+
+
+def expand_row_ids(n: int, indptr: np.ndarray) -> np.ndarray:
+    """Return the per-entry row id array (COO rows) of a CSR matrix."""
+    return np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))
+
+
+# ---------------------------------------------------------------------- #
+# Products
+# ---------------------------------------------------------------------- #
+def csr_matvec(
+    n: int,
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    data: np.ndarray,
+    x: np.ndarray,
+    row_ids: np.ndarray = None,
+) -> np.ndarray:
+    """Return ``A @ x``.
+
+    Per-row accumulation happens inside one ``np.bincount`` call, which sums
+    sequentially in storage (ascending-column) order — deterministic across
+    runs and platforms.
+    """
+    if row_ids is None:
+        row_ids = expand_row_ids(n, indptr)
+    products = data * x[indices]
+    return np.bincount(row_ids, weights=products, minlength=n)[:n]
+
+
+def csr_rmatvec(
+    n: int,
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    data: np.ndarray,
+    x: np.ndarray,
+) -> np.ndarray:
+    """Return ``A.T @ x``."""
+    products = data * np.repeat(x, np.diff(indptr))
+    return np.bincount(indices, weights=products, minlength=n)[:n]
+
+
+def csr_matmat(
+    n: int,
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    data: np.ndarray,
+    dense: np.ndarray,
+    row_ids: np.ndarray = None,
+) -> np.ndarray:
+    """Return ``A @ X`` for a dense ``(n, k)`` block of column vectors.
+
+    Columns are processed independently with :func:`csr_matvec`, so every
+    column is bitwise identical to a standalone matvec of that column.
+    """
+    if row_ids is None:
+        row_ids = expand_row_ids(n, indptr)
+    out = np.empty((n, dense.shape[1]), dtype=np.float64)
+    for column in range(dense.shape[1]):
+        out[:, column] = csr_matvec(
+            n, indptr, indices, data, dense[:, column], row_ids=row_ids
+        )
+    return out
+
+
+# ---------------------------------------------------------------------- #
+# Structure transforms
+# ---------------------------------------------------------------------- #
+def csr_permute(
+    n: int,
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    data: np.ndarray,
+    row_perm: Sequence[int],
+    col_perm: Sequence[int],
+) -> CSRArrays:
+    """Reorder so that ``B[r, c] = A[row_perm[r], col_perm[c]]``.
+
+    Implemented as an index gather: entry ``A[i, j]`` lands at
+    ``(inv_row[i], inv_col[j])`` where ``inv`` inverts the "new -> original"
+    permutations.
+    """
+    row_perm = np.asarray(row_perm, dtype=np.int64)
+    col_perm = np.asarray(col_perm, dtype=np.int64)
+    inv_row = np.empty(n, dtype=np.int64)
+    inv_col = np.empty(n, dtype=np.int64)
+    inv_row[row_perm] = np.arange(n, dtype=np.int64)
+    inv_col[col_perm] = np.arange(n, dtype=np.int64)
+    rows = expand_row_ids(n, indptr)
+    return csr_from_coo(n, inv_row[rows], inv_col[indices], data, sum_duplicates=False)
+
+
+def csr_transpose(
+    n: int, indptr: np.ndarray, indices: np.ndarray, data: np.ndarray
+) -> CSRArrays:
+    """Return the CSR arrays of ``A.T``."""
+    rows = expand_row_ids(n, indptr)
+    return csr_from_coo(n, indices, rows, data, sum_duplicates=False)
+
+
+# ---------------------------------------------------------------------- #
+# Entry-wise combination
+# ---------------------------------------------------------------------- #
+def csr_delta(
+    n: int,
+    a: CSRArrays,
+    b: CSRArrays,
+    tolerance: float = 0.0,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Return COO triples of ``B - A`` whose magnitude exceeds ``tolerance``.
+
+    This is the sparse update matrix ``ΔA`` consumed by the incremental
+    decomposition algorithms.  Output is sorted row-major.
+    """
+    indptr_a, indices_a, data_a = a
+    indptr_b, indices_b, data_b = b
+    rows = np.concatenate([expand_row_ids(n, indptr_b), expand_row_ids(n, indptr_a)])
+    cols = np.concatenate([indices_b, indices_a])
+    vals = np.concatenate([data_b, -data_a])
+    if rows.size == 0:
+        empty_i = np.zeros(0, dtype=np.int64)
+        return empty_i, empty_i.copy(), np.zeros(0, dtype=np.float64)
+    keys = rows * np.int64(n) + cols
+    order = np.argsort(keys, kind="stable")
+    keys = keys[order]
+    vals = vals[order]
+    boundaries = np.flatnonzero(np.concatenate(([True], keys[1:] != keys[:-1])))
+    keys = keys[boundaries]
+    sums = np.add.reduceat(vals, boundaries)
+    keep = np.abs(sums) > tolerance
+    keys = keys[keep]
+    sums = sums[keep]
+    out_rows = keys // n
+    return out_rows, keys - out_rows * n, sums
+
+
+def csr_aligned_values(
+    n: int, a: CSRArrays, b: CSRArrays
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Align two matrices on the union of their patterns.
+
+    Returns ``(rows, cols, values_a, values_b)`` over every position stored
+    in either matrix (absent positions read as 0.0) — the raw material for
+    vectorized entry-wise comparisons such as ``allclose`` and symmetry
+    checks.
+    """
+    indptr_a, indices_a, data_a = a
+    indptr_b, indices_b, data_b = b
+    keys_a = expand_row_ids(n, indptr_a) * np.int64(max(n, 1)) + indices_a
+    keys_b = expand_row_ids(n, indptr_b) * np.int64(max(n, 1)) + indices_b
+    keys_union = np.union1d(keys_a, keys_b)
+    values_a = np.zeros(keys_union.size, dtype=np.float64)
+    values_b = np.zeros(keys_union.size, dtype=np.float64)
+    values_a[np.searchsorted(keys_union, keys_a)] = data_a
+    values_b[np.searchsorted(keys_union, keys_b)] = data_b
+    rows = keys_union // max(n, 1)
+    cols = keys_union - rows * max(n, 1)
+    return rows, cols, values_a, values_b
+
+
+# ---------------------------------------------------------------------- #
+# Batched triangular solves (LU factor protocol)
+# ---------------------------------------------------------------------- #
+def _as_rhs_block(n: int, block) -> np.ndarray:
+    """Copy a right-hand-side block into a float64 ``(n, k)`` array."""
+    array = np.array(block, dtype=np.float64)
+    if array.ndim != 2 or array.shape[0] != n:
+        raise DimensionError(
+            f"right-hand-side block of shape {array.shape} incompatible with n={n}"
+        )
+    return array
+
+
+def _u_columns(factors) -> Tuple[List[List[int]], List[List[float]]]:
+    """Assemble ``U``'s column structure from its row-major storage."""
+    n = factors.n
+    column_rows: List[List[int]] = [[] for _ in range(n)]
+    column_vals: List[List[float]] = [[] for _ in range(n)]
+    for i in range(n):
+        for j, value in factors.u_row_entries(i):
+            column_rows[j].append(i)
+            column_vals[j].append(value)
+    return column_rows, column_vals
+
+
+def forward_substitution_many(factors, block) -> np.ndarray:
+    """Solve ``L Y = B`` for a dense ``(n, k)`` block of right-hand sides.
+
+    Column-oriented outer-product sweep matching the column-major storage of
+    ``L``.  Only elementwise scatter updates are used, so each column of the
+    result is bitwise identical to a ``k = 1`` solve of that column.
+    """
+    n = factors.n
+    block = _as_rhs_block(n, block)
+    for j in range(n):
+        pivot = factors.l_diagonal(j)
+        if abs(pivot) <= PIVOT_TOLERANCE:
+            raise SingularMatrixError(j, pivot)
+        block[j] /= pivot
+        entries = factors.l_column_entries(j)
+        if entries:
+            rows = np.fromiter((i for i, _ in entries), dtype=np.intp, count=len(entries))
+            vals = np.fromiter((v for _, v in entries), dtype=np.float64, count=len(entries))
+            block[rows] -= vals[:, None] * block[j]
+    return block
+
+
+def backward_substitution_many(factors, block) -> np.ndarray:
+    """Solve ``U X = Y`` (unit upper ``U``) for a dense ``(n, k)`` block.
+
+    ``U`` is stored row-major, so its columns are assembled in one pass
+    before the backward column sweep; the sweep itself uses the same
+    elementwise scatter updates as the forward kernel.
+    """
+    n = factors.n
+    block = _as_rhs_block(n, block)
+    column_rows, column_vals = _u_columns(factors)
+    for j in range(n - 1, 0, -1):
+        rows = column_rows[j]
+        if rows:
+            vals = np.asarray(column_vals[j], dtype=np.float64)
+            block[rows] -= vals[:, None] * block[j]
+    return block
+
+
+def solve_factored_many(factors, block) -> np.ndarray:
+    """Solve ``(L U) X = B`` for a block of right-hand sides (no reordering)."""
+    return backward_substitution_many(factors, forward_substitution_many(factors, block))
+
+
+# ---------------------------------------------------------------------- #
+# Scalar triangular solves
+# ---------------------------------------------------------------------- #
+# Dedicated single-right-hand-side sweeps: scalar Python arithmetic (no
+# per-column array overhead), but EXACTLY the same operation sequence as the
+# batched kernels above — column-oriented, no zero-skip shortcuts — so a
+# scalar solve is bitwise identical to the matching column of a batched one.
+def forward_substitution_single(factors, vector: np.ndarray) -> np.ndarray:
+    """Solve ``L y = b`` for one right-hand side (``vector`` is consumed)."""
+    n = factors.n
+    for j in range(n):
+        pivot = factors.l_diagonal(j)
+        if abs(pivot) <= PIVOT_TOLERANCE:
+            raise SingularMatrixError(j, pivot)
+        yj = vector[j] / pivot
+        vector[j] = yj
+        for i, value in factors.l_column_entries(j):
+            vector[i] -= value * yj
+    return vector
+
+
+def backward_substitution_single(factors, vector: np.ndarray) -> np.ndarray:
+    """Solve ``U x = y`` for one right-hand side (``vector`` is consumed)."""
+    n = factors.n
+    column_rows, column_vals = _u_columns(factors)
+    for j in range(n - 1, 0, -1):
+        xj = vector[j]
+        for i, value in zip(column_rows[j], column_vals[j]):
+            vector[i] -= value * xj
+    return vector

@@ -16,6 +16,8 @@ from __future__ import annotations
 import bisect
 from typing import Dict, Iterator, List, Optional, Tuple
 
+import numpy as np
+
 from repro.errors import DimensionError
 from repro.sparse.csr import SparseMatrix
 from repro.sparse.pattern import SparsityPattern
@@ -60,8 +62,23 @@ class AdjacencyListMatrix:
         return cls(matrix.n, matrix.entries())
 
     def to_sparse(self) -> SparseMatrix:
-        """Return an immutable :class:`SparseMatrix` copy."""
-        return SparseMatrix.from_triples(self._n, self.items())
+        """Lower the builder to an immutable CSR :class:`SparseMatrix`.
+
+        The per-row adjacency lists are kept sorted, duplicate-free and
+        zero-free by :meth:`set`, so the concatenated arrays are already
+        canonical CSR and can be adopted directly — no re-sort.
+        """
+        lengths = [len(row) for row in self._columns]
+        indptr = np.zeros(self._n + 1, dtype=np.int64)
+        np.cumsum(lengths, out=indptr[1:])
+        total = int(indptr[-1])
+        indices = np.fromiter(
+            (j for row in self._columns for j in row), dtype=np.int64, count=total
+        )
+        data = np.fromiter(
+            (v for row in self._values for v in row), dtype=np.float64, count=total
+        )
+        return SparseMatrix._from_csr(self._n, indptr, indices, data)
 
     def copy(self) -> "AdjacencyListMatrix":
         """Return a deep copy (structural counter reset to zero)."""

@@ -191,6 +191,15 @@ class Ordering:
         """Map a right-hand side ``b`` of ``A x = b`` into ``b' = P b``."""
         return self._row.apply_to_vector(b)
 
+    def permute_rhs_many(self, block) -> np.ndarray:
+        """Map an ``(n, k)`` block of right-hand sides into ``B' = P B``."""
+        array = np.asarray(block, dtype=float)
+        if array.ndim != 2 or array.shape[0] != self.n:
+            raise DimensionError(
+                f"block of shape {array.shape} incompatible with ordering size {self.n}"
+            )
+        return array[self._row.order, :]
+
     def unpermute_solution(self, x_prime: Sequence[float]) -> np.ndarray:
         """Map a solution of ``A^O x' = P b`` back to the original ``x = Q x'``.
 
@@ -203,8 +212,18 @@ class Ordering:
                 f"vector of shape {array.shape} incompatible with ordering size {self.n}"
             )
         x = np.zeros(self.n, dtype=float)
-        for new_position, original in enumerate(self._column.order):
-            x[original] = array[new_position]
+        x[self._column.order] = array
+        return x
+
+    def unpermute_solution_many(self, block) -> np.ndarray:
+        """Map an ``(n, k)`` block of reordered solutions back via ``X = Q X'``."""
+        array = np.asarray(block, dtype=float)
+        if array.ndim != 2 or array.shape[0] != self.n:
+            raise DimensionError(
+                f"block of shape {array.shape} incompatible with ordering size {self.n}"
+            )
+        x = np.empty_like(array)
+        x[self._column.order, :] = array
         return x
 
 

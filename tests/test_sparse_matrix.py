@@ -167,6 +167,75 @@ class TestColumnNormalizedAdjacency:
             column_normalized_adjacency(2, [(0, 2)])
 
 
+class TestExactZeroDropping:
+    def test_triples_cancelling_to_zero_are_dropped(self):
+        matrix = SparseMatrix.from_triples(3, [(0, 1, 2.0), (0, 1, -2.0), (1, 2, 1.0)])
+        assert matrix.nnz == 1
+        assert (0, 1) not in matrix.entries()
+
+    def test_add_cancelling_entries_are_dropped(self):
+        a = SparseMatrix(2, {(0, 1): 3.0, (1, 0): 1.0})
+        b = SparseMatrix(2, {(0, 1): -3.0})
+        total = a + b
+        assert total.nnz == 1
+        assert total.entries() == {(1, 0): 1.0}
+
+    def test_scale_by_zero_is_empty(self, small_dd_matrix):
+        assert small_dd_matrix.scale(0.0).nnz == 0
+
+    def test_from_csr_arrays_drops_explicit_zeros(self):
+        matrix = SparseMatrix.from_csr_arrays(2, [0, 2, 2], [0, 1], [1.0, 0.0])
+        assert matrix.nnz == 1
+        assert matrix.get(0, 1) == 0.0
+
+    def test_from_coo_sums_then_drops(self):
+        matrix = SparseMatrix.from_coo(2, [0, 0, 1], [1, 1, 1], [1.0, -1.0, 5.0])
+        assert matrix.nnz == 1
+        assert matrix.get(1, 1) == 5.0
+
+
+class TestImmutability:
+    def test_backing_arrays_are_read_only(self, small_dd_matrix):
+        for array in (small_dd_matrix.indptr, small_dd_matrix.indices, small_dd_matrix.data):
+            assert not array.flags.writeable
+            with pytest.raises(ValueError):
+                array[0] = 99
+
+    def test_slots_prevent_new_attributes(self, small_dd_matrix):
+        with pytest.raises(AttributeError):
+            small_dd_matrix.extra = 1
+
+    def test_transformations_leave_original_untouched(self, rng):
+        matrix = random_dd_matrix(8, 24, rng)
+        snapshot = matrix.entries()
+        matrix.scale(3.0)
+        matrix.transpose()
+        matrix.add(SparseMatrix.identity(8))
+        matrix.permuted(list(rng.permutation(8)), list(rng.permutation(8)))
+        matrix.delta_entries(SparseMatrix.identity(8))
+        assert matrix.entries() == snapshot
+
+    def test_nnz_matches_data_length_and_items(self, small_dd_matrix):
+        assert small_dd_matrix.nnz == small_dd_matrix.data.size
+        assert small_dd_matrix.nnz == len(list(small_dd_matrix.items()))
+
+
+class TestCSRLayout:
+    def test_indptr_brackets_rows(self):
+        matrix = SparseMatrix(3, {(0, 2): 1.0, (2, 0): 2.0, (2, 1): 3.0})
+        assert matrix.indptr.tolist() == [0, 1, 1, 3]
+        assert matrix.indices.tolist() == [2, 0, 1]
+        assert matrix.data.tolist() == [1.0, 2.0, 3.0]
+
+    def test_columns_strictly_increasing_within_rows(self, rng):
+        matrix = random_dd_matrix(12, 50, rng)
+        indptr = matrix.indptr
+        indices = matrix.indices
+        for i in range(12):
+            row = indices[indptr[i]:indptr[i + 1]]
+            assert np.all(np.diff(row) > 0)
+
+
 @given(
     entries=st.dictionaries(
         st.tuples(st.integers(0, 5), st.integers(0, 5)),
