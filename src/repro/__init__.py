@@ -18,6 +18,7 @@ Typical usage::
 """
 
 from repro.core.solver import EMSSolver, available_algorithms
+from repro.exec import ParallelExecutor, SerialExecutor
 from repro.graphs.egs import EvolvingGraphSequence
 from repro.graphs.ems import EvolvingMatrixSequence
 from repro.graphs.matrixkind import MatrixKind
@@ -39,4 +40,6 @@ __all__ = [
     "MatrixKind",
     "EMSSolver",
     "available_algorithms",
+    "SerialExecutor",
+    "ParallelExecutor",
 ]

@@ -7,7 +7,17 @@ quantities every experiment in the paper is phrased in:
 * **average quality-loss** — the mean of ``ql(O_i, A_i)`` over the sequence.
 
 BF and the Markowitz references are computed once per workload and cached so
-that sweeping a parameter (α, β, ΔE) does not redo the baseline.
+that sweeping a parameter (α, β, ΔE, workers) does not redo the baseline;
+:attr:`WorkloadRunner.bf_baseline_runs` and
+:meth:`~repro.core.quality.MarkowitzReference.cache_info` expose counters the
+regression tests pin this behaviour with.
+
+Since this PR every evaluation also takes a ``workers`` axis: ``0`` runs the
+algorithm with the in-process :class:`~repro.exec.executors.SerialExecutor`,
+``n >= 1`` fans the work units out across ``n`` worker processes via
+:class:`~repro.exec.executors.ParallelExecutor`.  The decompositions are
+bitwise-identical either way; what changes is the measured wall-clock, which
+the report carries alongside the serial-summed component times.
 """
 
 from __future__ import annotations
@@ -25,6 +35,7 @@ from repro.core.qc import solve_qc_cinc, solve_qc_clude
 from repro.core.quality import MarkowitzReference
 from repro.core.result import SequenceResult
 from repro.errors import MeasureError
+from repro.exec.executors import Executor, resolve_executor
 from repro.graphs.ems import EvolvingMatrixSequence
 
 
@@ -46,6 +57,8 @@ class AlgorithmReport:
     symbolic_time: float
     mean_fill: float
     structural_ops: int
+    workers: int = 0
+    wall_time: float = 0.0
 
     def as_row(self) -> Dict[str, object]:
         """Return the report as a flat dict (one table row)."""
@@ -59,6 +72,7 @@ class WorkloadRunner:
         self._workload = workload
         self._reference = MarkowitzReference(symmetric=workload.symmetric)
         self._bf_result: Optional[SequenceResult] = None
+        self._bf_baseline_runs = 0
 
     @property
     def workload(self) -> Workload:
@@ -70,40 +84,56 @@ class WorkloadRunner:
         """The Markowitz reference cache shared by all evaluations."""
         return self._reference
 
+    @property
+    def bf_baseline_runs(self) -> int:
+        """How many times the BF baseline was actually computed (should stay 1)."""
+        return self._bf_baseline_runs
+
     def bf_result(self) -> SequenceResult:
         """Return (running it on first use) the BF baseline result."""
         if self._bf_result is None:
+            self._bf_baseline_runs += 1
             self._bf_result = decompose_sequence_bf(self._workload.matrices)
         return self._bf_result
 
     # ------------------------------------------------------------------ #
     # Evaluation entry points
     # ------------------------------------------------------------------ #
-    def evaluate(self, algorithm: str, alpha: float = 0.95) -> AlgorithmReport:
+    def evaluate(
+        self, algorithm: str, alpha: float = 0.95, workers: int = 0
+    ) -> AlgorithmReport:
         """Run one LUDEM algorithm and report its metrics.
 
         ``parameter`` in the report is α for the cluster-based algorithms and
-        0.0 for BF / INC (which take no parameter).
+        0.0 for BF / INC (which take no parameter).  ``workers`` selects the
+        executor: 0 for serial, ``n >= 1`` for a process pool of ``n``
+        workers.  ``BF`` with ``workers=0`` returns the cached baseline.
         """
         name = algorithm.upper()
         matrices = self._workload.matrices
+        executor = self._executor_for(workers)
         if name == "BF":
-            result = self.bf_result()
+            if workers <= 0:
+                result = self.bf_result()
+            else:
+                result = decompose_sequence_bf(matrices, executor=executor)
             parameter = 0.0
         elif name == "INC":
-            result = decompose_sequence_inc(matrices)
+            result = decompose_sequence_inc(matrices, executor=executor)
             parameter = 0.0
         elif name == "CINC":
-            result = decompose_sequence_cinc(matrices, alpha=alpha)
+            result = decompose_sequence_cinc(matrices, alpha=alpha, executor=executor)
             parameter = alpha
         elif name == "CLUDE":
-            result = decompose_sequence_clude(matrices, alpha=alpha)
+            result = decompose_sequence_clude(matrices, alpha=alpha, executor=executor)
             parameter = alpha
         else:
             raise MeasureError(f"unknown algorithm {algorithm!r}")
-        return self._report(result, parameter)
+        return self._report(result, parameter, workers)
 
-    def evaluate_qc(self, algorithm: str, beta: float) -> AlgorithmReport:
+    def evaluate_qc(
+        self, algorithm: str, beta: float, workers: int = 0
+    ) -> AlgorithmReport:
         """Run one LUDEM-QC algorithm (CINC or CLUDE) and report its metrics."""
         if not self._workload.symmetric:
             raise MeasureError("LUDEM-QC evaluation requires a symmetric workload")
@@ -111,19 +141,28 @@ class WorkloadRunner:
             ems=EvolvingMatrixSequence(self._workload.matrices),
             quality_requirement=beta,
         )
+        executor = self._executor_for(workers)
         name = algorithm.upper()
         if name in ("CINC", "CINC-QC"):
-            result = solve_qc_cinc(problem, reference=self._reference)
+            result = solve_qc_cinc(problem, reference=self._reference, executor=executor)
         elif name in ("CLUDE", "CLUDE-QC"):
-            result = solve_qc_clude(problem, reference=self._reference)
+            result = solve_qc_clude(problem, reference=self._reference, executor=executor)
         else:
             raise MeasureError(f"unknown LUDEM-QC algorithm {algorithm!r}")
-        return self._report(result, beta)
+        return self._report(result, beta, workers)
 
     # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
-    def _report(self, result: SequenceResult, parameter: float) -> AlgorithmReport:
+    @staticmethod
+    def _executor_for(workers: int) -> Executor:
+        if workers < 0:
+            raise MeasureError(f"workers must be non-negative, got {workers}")
+        return resolve_executor(workers)
+
+    def _report(
+        self, result: SequenceResult, parameter: float, workers: int = 0
+    ) -> AlgorithmReport:
         matrices = self._workload.matrices
         bf_time = self.bf_result().total_time
         total_time = result.total_time
@@ -144,6 +183,8 @@ class WorkloadRunner:
             symbolic_time=result.timing.symbolic_time,
             mean_fill=summary["mean_fill_size"],
             structural_ops=int(summary["structural_ops"]),
+            workers=max(0, workers),
+            wall_time=result.wall_time,
         )
 
 
@@ -166,4 +207,24 @@ def sweep_beta(
     for beta in betas:
         for algorithm in algorithms:
             reports.append(runner.evaluate_qc(algorithm, beta=beta))
+    return reports
+
+
+def sweep_workers(
+    runner: WorkloadRunner,
+    algorithms: Sequence[str],
+    workers_list: Sequence[int],
+    alpha: float = 0.95,
+) -> List[AlgorithmReport]:
+    """Evaluate algorithms across a workers sweep (speedup-vs-cores scenario).
+
+    ``workers_list`` follows the executor convention: 0 is the in-process
+    serial executor, ``n >= 1`` a pool of ``n`` worker processes.  The BF
+    baseline and Markowitz references are still computed only once for the
+    whole sweep.
+    """
+    reports: List[AlgorithmReport] = []
+    for workers in workers_list:
+        for algorithm in algorithms:
+            reports.append(runner.evaluate(algorithm, alpha=alpha, workers=workers))
     return reports

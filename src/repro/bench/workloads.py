@@ -27,6 +27,10 @@ BETA_SWEEP: List[float] = [0.0, 0.05, 0.1, 0.15, 0.2, 0.3]
 #: The ΔE values swept by the synthetic-sensitivity experiment (paper Figure 9).
 DELTA_E_SWEEP: List[int] = [12, 20, 28, 36, 44]
 
+#: The worker counts swept by the speedup-vs-cores scenario (0 = serial
+#: in-process executor, n >= 1 = a pool of n worker processes).
+WORKER_SWEEP: List[int] = [0, 1, 2, 4]
+
 
 @dataclasses.dataclass(frozen=True)
 class Workload:
@@ -93,3 +97,31 @@ def synthetic_workload_with_delta(
     egs = generate_synthetic_egs(config)
     ems = EvolvingMatrixSequence.from_graphs(egs, kind=MatrixKind.RANDOM_WALK, damping=damping)
     return Workload(name=f"synthetic-dE{delta_edges}", matrices=list(ems), symmetric=False)
+
+
+def parallel_speedup_workload(
+    snapshots: int = 64,
+    nodes: int = 150,
+    delta_edges: int = 24,
+    damping: float = 0.85,
+    seed: int = 21,
+) -> Workload:
+    """The workload of the speedup-vs-cores scenario (``workers`` sweep).
+
+    A longer sequence (default T = 64) of moderate matrices: long enough that
+    the per-snapshot / per-cluster work units dominate process-pool overhead,
+    small enough per matrix that a full sweep stays laptop-friendly.
+    """
+    if snapshots < 1:
+        raise DatasetError("need at least one snapshot")
+    config = SyntheticEGSConfig(
+        nodes=nodes,
+        edge_pool_size=nodes * 9,
+        average_degree=4,
+        delta_edges=delta_edges,
+        snapshots=snapshots,
+        seed=seed,
+    )
+    egs = generate_synthetic_egs(config)
+    ems = EvolvingMatrixSequence.from_graphs(egs, kind=MatrixKind.RANDOM_WALK, damping=damping)
+    return Workload(name=f"parallel-T{snapshots}", matrices=list(ems), symmetric=False)

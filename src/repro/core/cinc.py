@@ -8,11 +8,16 @@ but the clustering keeps the shared ordering reasonably fit for all members,
 which is what INC lacks.  The factors are still held in per-matrix dynamic
 adjacency lists, so the structural-restructuring cost of Bennett's algorithm
 remains (that is the cost CLUDE removes).
+
+Clusters share no state with one another, so each cluster is one work unit
+of the execution plan and a parallel executor may decompose clusters
+concurrently.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+import time
+from typing import List, Optional, Sequence, Union
 
 from repro.core.clustering import MatrixCluster, alpha_clustering
 from repro.core.result import (
@@ -22,6 +27,8 @@ from repro.core.result import (
     TimingBreakdown,
 )
 from repro.errors import EmptySequenceError
+from repro.exec.executors import Executor, reduce_timings, resolve_executor
+from repro.exec.plan import plan_clustered
 from repro.lu.bennett import bennett_update
 from repro.lu.crout import crout_decompose
 from repro.lu.markowitz import markowitz_ordering
@@ -29,13 +36,17 @@ from repro.sparse.csr import SparseMatrix
 
 
 def decompose_cluster_cinc(
-    matrices: Sequence[SparseMatrix],
-    cluster: MatrixCluster,
+    members: Sequence[SparseMatrix],
+    start: int,
     cluster_id: int,
     stopwatch: Stopwatch,
 ) -> List[MatrixDecomposition]:
-    """Run CINC on one cluster (paper Algorithm 2), returning its decompositions."""
-    members = [matrices[index] for index in cluster.indices]
+    """Run CINC on one cluster (paper Algorithm 2), returning its decompositions.
+
+    ``members`` are the cluster's matrices in sequence order and ``start`` is
+    the EMS index of the first one.  This is the body of one CINC work unit;
+    serial and parallel executors run exactly this code.
+    """
     with stopwatch.time("ordering"):
         ordering = markowitz_ordering(members[0])
 
@@ -45,7 +56,7 @@ def decompose_cluster_cinc(
         factors = crout_decompose(first_reordered)
     decompositions.append(
         MatrixDecomposition(
-            index=cluster.start,
+            index=start,
             ordering=ordering,
             factors=factors,
             fill_size=factors.fill_size,
@@ -67,7 +78,7 @@ def decompose_cluster_cinc(
             structural_ops = factors.structural_ops - ops_before
         decompositions.append(
             MatrixDecomposition(
-                index=cluster.start + offset,
+                index=start + offset,
                 ordering=ordering,
                 factors=factors,
                 fill_size=factors.fill_size,
@@ -82,6 +93,7 @@ def decompose_sequence_cinc(
     matrices: Sequence[SparseMatrix],
     alpha: float = 0.95,
     clusters: Optional[Sequence[MatrixCluster]] = None,
+    executor: Union[Executor, int, None] = None,
 ) -> SequenceResult:
     """Run CINC over an EMS.
 
@@ -94,25 +106,30 @@ def decompose_sequence_cinc(
     clusters:
         Optional precomputed clustering (used by the LUDEM-QC driver, which
         supplies β-clusters instead of α-clusters).
+    executor:
+        How to schedule the per-cluster work units: ``None`` (default) runs
+        serially, an ``int`` is a process-pool worker count, or pass an
+        :class:`~repro.exec.executors.Executor`.  Output is bitwise-identical
+        across executors; clustering itself always runs in-process (it is a
+        sequential scan by construction).
     """
     matrices = list(matrices)
     if not matrices:
         raise EmptySequenceError("cannot decompose an empty matrix sequence")
 
+    started = time.perf_counter()
     stopwatch = Stopwatch()
     if clusters is None:
         with stopwatch.time("clustering"):
             clusters = alpha_clustering(matrices, alpha)
 
-    decompositions: List[MatrixDecomposition] = []
-    for cluster_id, cluster in enumerate(clusters):
-        decompositions.extend(
-            decompose_cluster_cinc(matrices, cluster, cluster_id, stopwatch)
-        )
-
+    plan = plan_clustered("CINC", matrices, clusters)
+    outcome = resolve_executor(executor).execute(plan)
+    timings = reduce_timings([stopwatch.totals(), outcome.timings])
     return SequenceResult(
         algorithm="CINC",
-        decompositions=decompositions,
-        timing=TimingBreakdown.from_stopwatch(stopwatch),
+        decompositions=outcome.decompositions,
+        timing=TimingBreakdown.from_buckets(timings),
         cluster_count=len(clusters),
+        wall_time=time.perf_counter() - started,
     )

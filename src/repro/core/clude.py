@@ -16,7 +16,8 @@ CLUDE (paper Algorithm 3) improves on CINC in two ways:
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+import time
+from typing import List, Optional, Sequence, Union
 
 from repro.core.clustering import MatrixCluster, alpha_clustering
 from repro.core.result import (
@@ -27,6 +28,8 @@ from repro.core.result import (
 )
 from repro.core.similarity import cluster_union_matrix
 from repro.errors import EmptySequenceError
+from repro.exec.executors import Executor, reduce_timings, resolve_executor
+from repro.exec.plan import plan_clustered
 from repro.lu.bennett import bennett_update
 from repro.lu.crout import crout_decompose_into
 from repro.lu.markowitz import markowitz_ordering
@@ -51,13 +54,17 @@ def universal_symbolic_pattern(
 
 
 def decompose_cluster_clude(
-    matrices: Sequence[SparseMatrix],
-    cluster: MatrixCluster,
+    members: Sequence[SparseMatrix],
+    start: int,
     cluster_id: int,
     stopwatch: Stopwatch,
     share_factors: bool = False,
 ) -> List[MatrixDecomposition]:
     """Run CLUDE on one cluster (paper Algorithm 3), returning its decompositions.
+
+    ``members`` are the cluster's matrices in sequence order and ``start`` is
+    the EMS index of the first one.  This is the body of one CLUDE work
+    unit; serial and parallel executors run exactly this code.
 
     Parameters
     ----------
@@ -70,8 +77,6 @@ def decompose_cluster_clude(
         the values for every member so all solves remain available, which is
         what the examples and tests expect.
     """
-    members = [matrices[index] for index in cluster.indices]
-
     with stopwatch.time("ordering"):
         union_matrix = cluster_union_matrix(members)
         ordering = markowitz_ordering(union_matrix)
@@ -85,7 +90,7 @@ def decompose_cluster_clude(
         first_reordered = ordering.apply(members[0])
         crout_decompose_into(first_reordered, static_factors, pattern=ussp)
     decompositions.append(
-        _make_decomposition(cluster.start, ordering, static_factors, cluster_id, share_factors)
+        _make_decomposition(start, ordering, static_factors, cluster_id, share_factors)
     )
 
     for offset in range(1, len(members)):
@@ -95,7 +100,7 @@ def decompose_cluster_clude(
             bennett_update(static_factors, delta)
         decompositions.append(
             _make_decomposition(
-                cluster.start + offset, ordering, static_factors, cluster_id, share_factors
+                start + offset, ordering, static_factors, cluster_id, share_factors
             )
         )
     return decompositions
@@ -138,6 +143,7 @@ def decompose_sequence_clude(
     alpha: float = 0.95,
     clusters: Optional[Sequence[MatrixCluster]] = None,
     share_factors: bool = False,
+    executor: Union[Executor, int, None] = None,
 ) -> SequenceResult:
     """Run CLUDE over an EMS.
 
@@ -151,27 +157,31 @@ def decompose_sequence_clude(
         Optional precomputed clustering (the LUDEM-QC driver passes β-clusters).
     share_factors:
         See :func:`decompose_cluster_clude`.
+    executor:
+        How to schedule the per-cluster work units: ``None`` (default) runs
+        serially, an ``int`` is a process-pool worker count, or pass an
+        :class:`~repro.exec.executors.Executor`.  Output is bitwise-identical
+        across executors; clustering itself always runs in-process.
     """
     matrices = list(matrices)
     if not matrices:
         raise EmptySequenceError("cannot decompose an empty matrix sequence")
 
+    started = time.perf_counter()
     stopwatch = Stopwatch()
     if clusters is None:
         with stopwatch.time("clustering"):
             clusters = alpha_clustering(matrices, alpha)
 
-    decompositions: List[MatrixDecomposition] = []
-    for cluster_id, cluster in enumerate(clusters):
-        decompositions.extend(
-            decompose_cluster_clude(
-                matrices, cluster, cluster_id, stopwatch, share_factors=share_factors
-            )
-        )
-
+    plan = plan_clustered(
+        "CLUDE", matrices, clusters, options={"share_factors": share_factors}
+    )
+    outcome = resolve_executor(executor).execute(plan)
+    timings = reduce_timings([stopwatch.totals(), outcome.timings])
     return SequenceResult(
         algorithm="CLUDE",
-        decompositions=decompositions,
-        timing=TimingBreakdown.from_stopwatch(stopwatch),
+        decompositions=outcome.decompositions,
+        timing=TimingBreakdown.from_buckets(timings),
         cluster_count=len(clusters),
+        wall_time=time.perf_counter() - started,
     )

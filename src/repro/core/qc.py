@@ -13,7 +13,7 @@ the constraint for every member.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Union
 
 from repro.core.cinc import decompose_sequence_cinc
 from repro.core.clude import decompose_sequence_clude
@@ -21,18 +21,25 @@ from repro.core.clustering import beta_clustering_cinc, beta_clustering_clude
 from repro.core.problem import LUDEMQCProblem
 from repro.core.quality import MarkowitzReference
 from repro.core.result import SequenceResult, Stopwatch
+from repro.exec.executors import Executor
 
 
 def solve_qc_cinc(
-    problem: LUDEMQCProblem, reference: Optional[MarkowitzReference] = None
+    problem: LUDEMQCProblem,
+    reference: Optional[MarkowitzReference] = None,
+    executor: Union[Executor, int, None] = None,
 ) -> SequenceResult:
-    """Solve LUDEM-QC with the CINC machinery (β-clustering, Algorithm 4)."""
+    """Solve LUDEM-QC with the CINC machinery (β-clustering, Algorithm 4).
+
+    ``executor`` schedules the per-cluster decomposition work units; the
+    β-clustering scan itself is sequential and always runs in-process.
+    """
     matrices = list(problem.ems)
     reference = reference or MarkowitzReference(symmetric=True)
     stopwatch = Stopwatch()
     with stopwatch.time("clustering"):
         clusters = beta_clustering_cinc(matrices, problem.quality_requirement, reference)
-    result = decompose_sequence_cinc(matrices, clusters=clusters)
+    result = decompose_sequence_cinc(matrices, clusters=clusters, executor=executor)
     result.timing.clustering_time += stopwatch.total("clustering")
     result.cluster_count = len(clusters)
     return SequenceResult(
@@ -40,23 +47,31 @@ def solve_qc_cinc(
         decompositions=result.decompositions,
         timing=result.timing,
         cluster_count=len(clusters),
+        wall_time=result.wall_time + stopwatch.total("clustering"),
     )
 
 
 def solve_qc_clude(
-    problem: LUDEMQCProblem, reference: Optional[MarkowitzReference] = None
+    problem: LUDEMQCProblem,
+    reference: Optional[MarkowitzReference] = None,
+    executor: Union[Executor, int, None] = None,
 ) -> SequenceResult:
-    """Solve LUDEM-QC with the CLUDE machinery (β-clustering, Algorithm 5)."""
+    """Solve LUDEM-QC with the CLUDE machinery (β-clustering, Algorithm 5).
+
+    ``executor`` schedules the per-cluster decomposition work units; the
+    β-clustering scan itself is sequential and always runs in-process.
+    """
     matrices = list(problem.ems)
     reference = reference or MarkowitzReference(symmetric=True)
     stopwatch = Stopwatch()
     with stopwatch.time("clustering"):
         clusters = beta_clustering_clude(matrices, problem.quality_requirement, reference)
-    result = decompose_sequence_clude(matrices, clusters=clusters)
+    result = decompose_sequence_clude(matrices, clusters=clusters, executor=executor)
     result.timing.clustering_time += stopwatch.total("clustering")
     return SequenceResult(
         algorithm="CLUDE-QC",
         decompositions=result.decompositions,
         timing=result.timing,
         cluster_count=len(clusters),
+        wall_time=result.wall_time + stopwatch.total("clustering"),
     )

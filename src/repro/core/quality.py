@@ -104,12 +104,26 @@ class MarkowitzReference:
     def __init__(self, symmetric: bool = False) -> None:
         self._symmetric = symmetric
         self._sizes: Dict[int, int] = {}
+        self._hits = 0
+        self._misses = 0
 
     def size_for(self, index: int, matrix: SparseMatrix) -> int:
         """Return (and cache) the reference size for matrix ``index``."""
         if index not in self._sizes:
+            self._misses += 1
             self._sizes[index] = markowitz_reference_size(matrix, symmetric=self._symmetric)
+        else:
+            self._hits += 1
         return self._sizes[index]
+
+    def cache_info(self) -> Dict[str, int]:
+        """Return hit/miss/size counters for the reference cache.
+
+        A miss runs a full Markowitz ordering (exactly what BF pays per
+        matrix), so the bench layer asserts via these counters that sweeping
+        α/β/workers computes each matrix's reference only once.
+        """
+        return {"hits": self._hits, "misses": self._misses, "size": len(self._sizes)}
 
     def quality_loss(self, index: int, ordering: Ordering, matrix: SparseMatrix) -> float:
         """Return ``ql(O_index, A_index)`` using the cached reference."""

@@ -130,12 +130,22 @@ class TimingBreakdown:
     @classmethod
     def from_stopwatch(cls, stopwatch: Stopwatch) -> "TimingBreakdown":
         """Build a breakdown from stopwatch buckets named after the fields."""
+        return cls.from_buckets(stopwatch.totals())
+
+    @classmethod
+    def from_buckets(cls, buckets: Dict[str, float]) -> "TimingBreakdown":
+        """Build a breakdown from a plain bucket dictionary.
+
+        This is the form the executor layer reduces per-unit stopwatch totals
+        into; the component times are therefore *serial-summed* across work
+        units (wall-clock is tracked separately on the sequence result).
+        """
         return cls(
-            clustering_time=stopwatch.total("clustering"),
-            ordering_time=stopwatch.total("ordering"),
-            decomposition_time=stopwatch.total("decomposition"),
-            bennett_time=stopwatch.total("bennett"),
-            symbolic_time=stopwatch.total("symbolic"),
+            clustering_time=buckets.get("clustering", 0.0),
+            ordering_time=buckets.get("ordering", 0.0),
+            decomposition_time=buckets.get("decomposition", 0.0),
+            bennett_time=buckets.get("bennett", 0.0),
+            symbolic_time=buckets.get("symbolic", 0.0),
         )
 
     def as_dict(self) -> Dict[str, float]:
@@ -152,12 +162,20 @@ class TimingBreakdown:
 
 @dataclasses.dataclass
 class SequenceResult:
-    """The output of a LUDEM algorithm over a whole EMS."""
+    """The output of a LUDEM algorithm over a whole EMS.
+
+    ``timing`` holds the serial-summed component times (summed over work
+    units in canonical order, so they are executor-independent up to clock
+    noise), while ``wall_time`` is the elapsed wall-clock of the whole run —
+    the quantity that shrinks when a parallel executor fans clusters out
+    across workers.  ``wall_time`` of 0.0 means it was not measured.
+    """
 
     algorithm: str
     decompositions: List[MatrixDecomposition]
     timing: TimingBreakdown
     cluster_count: int = 1
+    wall_time: float = 0.0
 
     def __post_init__(self) -> None:
         if not self.decompositions:
@@ -233,6 +251,7 @@ class SequenceResult:
             "algorithm_matrices": float(len(self.decompositions)),
             "clusters": float(self.cluster_count),
             "total_time": self.total_time,
+            "wall_time": self.wall_time,
             "bennett_time": self.timing.bennett_time,
             "ordering_time": self.timing.ordering_time,
             "decomposition_time": self.timing.decomposition_time,

@@ -9,7 +9,7 @@ forward/backward substitution — the use case motivating the whole paper
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -19,6 +19,7 @@ from repro.core.clude import decompose_sequence_clude
 from repro.core.inc import decompose_sequence_inc
 from repro.core.result import SequenceResult
 from repro.errors import MeasureError
+from repro.exec.executors import Executor
 from repro.graphs.ems import EvolvingMatrixSequence
 
 #: Signature of a sequence decomposition routine.
@@ -50,6 +51,11 @@ class EMSSolver:
         ``"CLUDE"``.
     alpha:
         Similarity threshold for the cluster-based algorithms.
+    executor:
+        How to schedule the decomposition's work units: ``None`` (default)
+        runs serially in-process, an ``int`` is a process-pool worker count,
+        or pass an :class:`~repro.exec.executors.Executor` instance.  The
+        decomposition is bitwise-identical regardless of the executor.
 
     Examples
     --------
@@ -70,6 +76,7 @@ class EMSSolver:
         ems: EvolvingMatrixSequence,
         algorithm: str = "CLUDE",
         alpha: float = 0.95,
+        executor: Union[Executor, int, None] = None,
     ) -> None:
         name = algorithm.upper()
         if name not in ALGORITHMS:
@@ -79,6 +86,7 @@ class EMSSolver:
         self._ems = ems
         self._algorithm_name = name
         self._alpha = alpha
+        self._executor = executor
         self._result: Optional[SequenceResult] = None
 
     @property
@@ -101,9 +109,11 @@ class EMSSolver:
         if self._result is None:
             runner = ALGORITHMS[self._algorithm_name]
             if self._algorithm_name in ("CINC", "CLUDE"):
-                self._result = runner(list(self._ems), alpha=self._alpha)
+                self._result = runner(
+                    list(self._ems), alpha=self._alpha, executor=self._executor
+                )
             else:
-                self._result = runner(list(self._ems))
+                self._result = runner(list(self._ems), executor=self._executor)
         return self._result
 
     def solve(self, index: int, b: Sequence[float]) -> np.ndarray:

@@ -1,0 +1,210 @@
+"""Executors: run an execution plan serially or across worker processes.
+
+Two strategies implement the same contract — *given the same plan, produce
+the same decompositions in the same canonical order*:
+
+* :class:`SerialExecutor` runs every unit in-process, in plan order.  This is
+  the default everywhere and reproduces the historical behaviour (and output)
+  of the sequence algorithms exactly.
+* :class:`ParallelExecutor` fans units out to a
+  :class:`concurrent.futures.ProcessPoolExecutor`.  Units carry their member
+  matrices (immutable CSR arrays) with them, workers return
+  :class:`~repro.exec.units.UnitResult` objects, and the merge step reorders
+  them by ``unit_id`` before concatenating — so scheduling nondeterminism
+  never reaches the output.
+
+Because every worker runs the identical per-unit routine on identical
+float64 inputs (pickling is value-exact for both Python floats and NumPy
+arrays), the parallel output is bitwise-identical to the serial output; the
+differential suite in ``tests/test_parallel_vs_serial.py`` enforces this.
+
+Timing is reduced deterministically: per-unit stopwatch buckets are summed
+in ``unit_id`` order, giving the *serial-summed* component times the paper's
+breakdown tables use, while the elapsed wall-clock of the whole plan is
+reported separately (``ExecutionOutcome.wall_time``) — on a many-core
+machine wall-clock shrinks with workers while the summed component times do
+not.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor as _ProcessPool
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.result import MatrixDecomposition, SequenceResult
+from repro.errors import MeasureError
+from repro.exec.plan import ExecutionPlan, WorkUnit
+from repro.exec.units import UnitResult, execute_unit
+
+
+@dataclasses.dataclass
+class ExecutionOutcome:
+    """The merged product of running a plan.
+
+    Attributes
+    ----------
+    decompositions:
+        Every unit's decompositions concatenated in canonical sequence order.
+    timings:
+        Per-bucket times summed over units in ``unit_id`` order (the
+        serial-summed component times).
+    wall_time:
+        Elapsed wall-clock of the whole plan execution, measured by the
+        executor.  Equals roughly the sum of unit times for the serial
+        executor; shrinks with workers for the parallel one.
+    unit_count:
+        Number of units executed.
+    """
+
+    decompositions: List[MatrixDecomposition]
+    timings: Dict[str, float]
+    wall_time: float
+    unit_count: int
+
+
+def canonical_sequence_state(result: SequenceResult) -> List[Tuple]:
+    """Reduce a sequence result to its exact numeric/structural content.
+
+    Everything except timing: per-decomposition index, cluster id, fill
+    size, structural ops, both permutations, and every stored L/U entry with
+    its exact float value.  Two results are bitwise-equivalent under the
+    serial≡parallel contract iff their canonical states compare equal — this
+    is the single definition both the differential test suite and the
+    speedup benchmark's validity gate use.
+    """
+    return [
+        (
+            decomposition.index,
+            decomposition.cluster_id,
+            decomposition.fill_size,
+            decomposition.structural_ops,
+            tuple(decomposition.ordering.row.order),
+            tuple(decomposition.ordering.column.order),
+            tuple(sorted(decomposition.factors.l_items())),
+            tuple(sorted(decomposition.factors.u_items())),
+        )
+        for decomposition in result.decompositions
+    ]
+
+
+def reduce_timings(per_unit: Sequence[Dict[str, float]]) -> Dict[str, float]:
+    """Sum timing buckets across units, in the given (unit_id) order.
+
+    The reduction is order-canonical: buckets are accumulated unit by unit,
+    and the resulting dictionary's keys are sorted, so the same per-unit
+    inputs always reduce to the identical result regardless of which worker
+    finished first.
+    """
+    totals: Dict[str, float] = {}
+    for buckets in per_unit:
+        for name, seconds in buckets.items():
+            totals[name] = totals.get(name, 0.0) + seconds
+    return {name: totals[name] for name in sorted(totals)}
+
+
+def merge_unit_results(
+    plan: ExecutionPlan, results: Sequence[UnitResult], wall_time: float
+) -> ExecutionOutcome:
+    """Reorder unit results by id and concatenate into the canonical output."""
+    by_id = {result.unit_id: result for result in results}
+    if len(by_id) != len(results):
+        raise MeasureError("duplicate unit ids in execution results")
+    missing = [unit.unit_id for unit in plan.units if unit.unit_id not in by_id]
+    if missing:
+        raise MeasureError(f"execution lost units {missing}")
+    ordered = [by_id[unit.unit_id] for unit in plan.units]
+    decompositions: List[MatrixDecomposition] = []
+    for result in ordered:
+        decompositions.extend(result.decompositions)
+    return ExecutionOutcome(
+        decompositions=decompositions,
+        timings=reduce_timings([result.timings for result in ordered]),
+        wall_time=wall_time,
+        unit_count=len(ordered),
+    )
+
+
+class Executor:
+    """Base class: maps a plan's units to results, then merges canonically."""
+
+    def map_units(self, units: Sequence[WorkUnit]) -> List[UnitResult]:
+        """Run every unit and return the results (any order)."""
+        raise NotImplementedError
+
+    def execute(self, plan: ExecutionPlan) -> ExecutionOutcome:
+        """Run the plan and return the merged, canonically ordered outcome."""
+        start = time.perf_counter()
+        results = self.map_units(plan.units)
+        wall_time = time.perf_counter() - start
+        return merge_unit_results(plan, results, wall_time)
+
+
+class SerialExecutor(Executor):
+    """Run units one after another in the calling process (the default)."""
+
+    def map_units(self, units: Sequence[WorkUnit]) -> List[UnitResult]:
+        return [execute_unit(unit) for unit in units]
+
+    def __repr__(self) -> str:
+        return "SerialExecutor()"
+
+
+class ParallelExecutor(Executor):
+    """Fan units out across a pool of worker processes.
+
+    Parameters
+    ----------
+    workers:
+        Number of worker processes; defaults to the machine's CPU count.
+        The pool never spawns more processes than there are units.
+
+    Notes
+    -----
+    Worker processes receive each unit by pickle (member matrices are
+    immutable CSR arrays, so this is a read-only value copy) and return the
+    unit's decompositions the same way.  Float64 values round-trip pickling
+    exactly, which the bitwise serial≡parallel contract relies on.
+    """
+
+    def __init__(self, workers: Optional[int] = None) -> None:
+        if workers is None:
+            workers = os.cpu_count() or 1
+        if workers < 1:
+            raise MeasureError(f"need at least one worker, got {workers}")
+        self.workers = int(workers)
+
+    def map_units(self, units: Sequence[WorkUnit]) -> List[UnitResult]:
+        units = list(units)
+        if not units:
+            return []
+        pool_size = min(self.workers, len(units))
+        with _ProcessPool(max_workers=pool_size) as pool:
+            futures = [pool.submit(execute_unit, unit) for unit in units]
+            return [future.result() for future in futures]
+
+    def __repr__(self) -> str:
+        return f"ParallelExecutor(workers={self.workers})"
+
+
+def resolve_executor(executor: Union[Executor, int, None]) -> Executor:
+    """Normalize an ``executor=`` argument.
+
+    ``None`` means the default :class:`SerialExecutor`; an integer ``n`` is
+    shorthand for ``ParallelExecutor(workers=n)`` (``0`` maps to serial, the
+    convention the bench layer's ``workers`` axis uses); an
+    :class:`Executor` instance passes through unchanged.
+    """
+    if executor is None:
+        return SerialExecutor()
+    if isinstance(executor, Executor):
+        return executor
+    if isinstance(executor, int):
+        if executor <= 0:
+            return SerialExecutor()
+        return ParallelExecutor(workers=executor)
+    raise MeasureError(
+        f"executor must be an Executor, an int worker count or None, got {executor!r}"
+    )

@@ -1,0 +1,73 @@
+"""The work-unit body executed by every executor (in-process or worker).
+
+:func:`execute_unit` is the single entry point a worker process runs.  It is
+deliberately a top-level function of a plain module so that
+:class:`concurrent.futures.ProcessPoolExecutor` can pickle a reference to it,
+and it dispatches on :attr:`WorkUnit.algorithm` to the exact same per-unit
+routines the serial algorithms use — which is what makes the parallel output
+bitwise-identical to the serial one: the numerical code path is shared, only
+the scheduling differs.
+
+Each invocation times itself into a fresh :class:`Stopwatch`; the executor
+layer reduces the per-unit buckets deterministically (in ``unit_id`` order),
+so the reported component times are *serial-summed* CPU-style totals, while
+the executor reports wall-clock separately.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List
+
+from repro.core.result import MatrixDecomposition, Stopwatch
+from repro.errors import MeasureError
+from repro.exec.plan import WorkUnit
+
+
+@dataclasses.dataclass
+class UnitResult:
+    """What one work unit produced: decompositions plus its timing buckets."""
+
+    unit_id: int
+    decompositions: List[MatrixDecomposition]
+    timings: Dict[str, float]
+
+
+def execute_unit(unit: WorkUnit) -> UnitResult:
+    """Run one work unit and return its decompositions and timing buckets."""
+    stopwatch = Stopwatch()
+    # Imported lazily: the core algorithm modules import the executor layer
+    # for their default executors, so a module-level import here would be a
+    # cycle.  The imports are cached in sys.modules after the first call.
+    if unit.algorithm == "BF":
+        from repro.core.bf import decompose_snapshot_bf
+
+        decompositions = [
+            decompose_snapshot_bf(matrix, unit.start + offset, stopwatch)
+            for offset, matrix in enumerate(unit.members)
+        ]
+    elif unit.algorithm == "INC":
+        from repro.core.inc import decompose_chain_inc
+
+        decompositions = decompose_chain_inc(
+            unit.members, unit.start, stopwatch, cluster_id=unit.cluster_id
+        )
+    elif unit.algorithm == "CINC":
+        from repro.core.cinc import decompose_cluster_cinc
+
+        decompositions = decompose_cluster_cinc(
+            unit.members, unit.start, unit.cluster_id, stopwatch, **unit.option_dict
+        )
+    elif unit.algorithm == "CLUDE":
+        from repro.core.clude import decompose_cluster_clude
+
+        decompositions = decompose_cluster_clude(
+            unit.members, unit.start, unit.cluster_id, stopwatch, **unit.option_dict
+        )
+    else:  # pragma: no cover - WorkUnit.__post_init__ rejects unknown names
+        raise MeasureError(f"unknown work-unit algorithm {unit.algorithm!r}")
+    return UnitResult(
+        unit_id=unit.unit_id,
+        decompositions=decompositions,
+        timings=stopwatch.totals(),
+    )

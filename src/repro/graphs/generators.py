@@ -8,6 +8,14 @@ and adding ``ΔE⁺`` random pool edges, with ``k = ΔE⁺ / ΔE⁻`` and
 ``ΔE = ΔE⁺ + ΔE⁻``.  :class:`SyntheticEGSConfig` exposes exactly those
 parameters (with laptop-scale defaults; the paper's defaults are recorded in
 :data:`PAPER_DEFAULTS`).
+
+Every generator in this module is deterministic given its seed: the
+top-level entry points (:func:`generate_synthetic_egs`, :func:`growing_egs`)
+take an explicit seed, and the building blocks
+(:func:`barabasi_albert_edges`, :func:`generate_edge_pool`) require either a
+caller-supplied :class:`numpy.random.Generator` or an explicit ``seed`` —
+there is no fallback to global/unseeded randomness anywhere, which the
+determinism regression tests pin.
 """
 
 from __future__ import annotations
@@ -87,16 +95,36 @@ class SyntheticEGSConfig:
             raise DatasetError("need at least one snapshot")
 
 
+def _resolve_rng(
+    rng: Optional[np.random.Generator], seed: Optional[int]
+) -> np.random.Generator:
+    """Return the generator to use, refusing unseeded (non-reproducible) use."""
+    if rng is not None:
+        if seed is not None:
+            raise DatasetError("pass either rng or seed, not both")
+        return rng
+    if seed is None:
+        raise DatasetError(
+            "unseeded generation is not allowed: pass an explicit rng or seed"
+        )
+    return np.random.default_rng(seed)
+
+
 def barabasi_albert_edges(
-    nodes: int, edges_per_node: int, rng: np.random.Generator
+    nodes: int,
+    edges_per_node: int,
+    rng: Optional[np.random.Generator] = None,
+    seed: Optional[int] = None,
 ) -> List[Edge]:
     """Generate the edge list of a Barabási–Albert preferential-attachment graph.
 
     Each arriving node attaches to ``edges_per_node`` existing nodes chosen
     with probability proportional to their current degree, yielding the
     scale-free degree distribution the paper assumes for its base graph.
-    Edges are oriented from the new node to its chosen targets.
+    Edges are oriented from the new node to its chosen targets.  Exactly one
+    of ``rng`` / ``seed`` must be supplied.
     """
+    rng = _resolve_rng(rng, seed)
     if nodes < 2:
         raise DatasetError("Barabási–Albert generation needs at least two nodes")
     edges_per_node = max(1, min(edges_per_node, nodes - 1))
@@ -121,13 +149,19 @@ def barabasi_albert_edges(
     return edges
 
 
-def generate_edge_pool(config: SyntheticEGSConfig, rng: np.random.Generator) -> List[Edge]:
+def generate_edge_pool(
+    config: SyntheticEGSConfig,
+    rng: Optional[np.random.Generator] = None,
+    seed: Optional[int] = None,
+) -> List[Edge]:
     """Generate the edge pool ``EP`` from a Barabási–Albert base graph.
 
     The base graph is generated with enough edges per node to reach (at
     least) ``edge_pool_size`` edges; extra random edges between high-degree
-    nodes pad any shortfall caused by duplicate removal.
+    nodes pad any shortfall caused by duplicate removal.  Exactly one of
+    ``rng`` / ``seed`` must be supplied.
     """
+    rng = _resolve_rng(rng, seed)
     per_node = max(1, config.edge_pool_size // max(1, config.nodes - 1))
     pool: Set[Edge] = set(barabasi_albert_edges(config.nodes, per_node, rng))
     # Pad with additional preferential edges until the pool is large enough.

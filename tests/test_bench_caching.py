@@ -1,0 +1,99 @@
+"""Regression tests: the bench runner computes its baselines exactly once.
+
+Sweeping a parameter (α, β or workers) on one workload must reuse the cached
+BF baseline and the cached Markowitz references — re-running either would
+silently multiply benchmark wall time and was exactly the failure mode the
+runner's caches exist to prevent.  The counters these tests pin
+(:attr:`WorkloadRunner.bf_baseline_runs`,
+:meth:`MarkowitzReference.cache_info`) count real recomputation, not calls.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.runner import WorkloadRunner, sweep_alpha, sweep_beta, sweep_workers
+from repro.bench.workloads import Workload
+from repro.core.quality import MarkowitzReference
+from repro.graphs.ems import EvolvingMatrixSequence
+from repro.graphs.generators import SyntheticEGSConfig, generate_synthetic_egs, growing_egs
+from repro.graphs.matrixkind import MatrixKind
+
+
+@pytest.fixture
+def directed_runner() -> WorkloadRunner:
+    config = SyntheticEGSConfig(
+        nodes=36, edge_pool_size=324, average_degree=3, delta_edges=10,
+        snapshots=6, seed=31,
+    )
+    ems = EvolvingMatrixSequence.from_graphs(
+        generate_synthetic_egs(config), kind=MatrixKind.RANDOM_WALK
+    )
+    return WorkloadRunner(
+        Workload(name="cache-directed", matrices=list(ems), symmetric=False)
+    )
+
+
+@pytest.fixture
+def symmetric_runner() -> WorkloadRunner:
+    egs = growing_egs(
+        nodes=30, snapshots=5, initial_edges=60, edges_per_step=6, seed=17, directed=False
+    )
+    ems = EvolvingMatrixSequence.from_graphs(egs, kind=MatrixKind.SYMMETRIC_WALK)
+    return WorkloadRunner(
+        Workload(name="cache-symmetric", matrices=list(ems), symmetric=True)
+    )
+
+
+def test_alpha_sweep_computes_bf_and_references_once(directed_runner):
+    runner = directed_runner
+    length = runner.workload.length
+    assert runner.bf_baseline_runs == 0
+
+    reports = sweep_alpha(runner, ["BF", "INC", "CINC", "CLUDE"], [0.90, 0.95, 1.00])
+    assert len(reports) == 12
+    # One BF baseline for the whole sweep, despite BF appearing in every round.
+    assert runner.bf_baseline_runs == 1
+
+    info = runner.reference.cache_info()
+    # Every matrix's Markowitz reference computed exactly once...
+    assert info["misses"] == length
+    assert info["size"] == length
+    # ...and every later quality-loss evaluation served from cache.
+    assert info["hits"] == (len(reports) - 1) * length
+
+
+def test_workers_sweep_reuses_the_serial_baseline(directed_runner):
+    runner = directed_runner
+    reports = sweep_workers(runner, ["BF", "CLUDE"], [0, 1], alpha=0.95)
+    assert [report.workers for report in reports] == [0, 0, 1, 1]
+    assert runner.bf_baseline_runs == 1
+    assert runner.reference.cache_info()["misses"] == runner.workload.length
+    # Parallel evaluations still report against the one cached serial baseline.
+    serial_bf, _, parallel_bf, _ = reports
+    assert serial_bf.algorithm == parallel_bf.algorithm == "BF"
+    assert parallel_bf.wall_time > 0.0
+
+
+def test_beta_sweep_shares_references_with_clustering(symmetric_runner):
+    runner = symmetric_runner
+    length = runner.workload.length
+    reports = sweep_beta(runner, ["CINC-QC", "CLUDE-QC"], [0.1, 0.3])
+    assert len(reports) == 4
+    assert runner.bf_baseline_runs == 1
+
+    info = runner.reference.cache_info()
+    # β-clustering itself consults the same shared reference cache, so even
+    # with clustering + quality-loss reporting across 4 runs the expensive
+    # reference is computed once per matrix.
+    assert info["misses"] == length
+    assert info["hits"] > 0
+
+
+def test_cache_info_counts_hits_and_misses_exactly(small_dd_matrix):
+    reference = MarkowitzReference()
+    assert reference.cache_info() == {"hits": 0, "misses": 0, "size": 0}
+    reference.size_for(0, small_dd_matrix)
+    reference.size_for(0, small_dd_matrix)
+    reference.size_for(1, small_dd_matrix)
+    assert reference.cache_info() == {"hits": 1, "misses": 2, "size": 2}

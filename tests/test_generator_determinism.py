@@ -1,0 +1,92 @@
+"""Determinism regression tests for the synthetic evolving-graph generators.
+
+Audit outcome for ``repro/graphs/generators.py``: no generator may fall back
+to global/unseeded randomness.  The top-level entry points take explicit
+seeds, the building blocks take an explicit ``rng`` or ``seed`` (and refuse
+to run with neither), and the same seed must reproduce the identical EGS —
+snapshot for snapshot, edge for edge.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.graphs.ems import EvolvingMatrixSequence
+from repro.graphs.generators import (
+    SyntheticEGSConfig,
+    barabasi_albert_edges,
+    generate_edge_pool,
+    generate_synthetic_egs,
+    growing_egs,
+)
+from repro.graphs.matrixkind import MatrixKind
+
+
+def _egs_edge_sets(egs):
+    return [frozenset(snapshot.edges) for snapshot in egs]
+
+
+CONFIG = SyntheticEGSConfig(
+    nodes=40, edge_pool_size=360, average_degree=4, delta_edges=12, snapshots=7, seed=123
+)
+
+
+class TestSyntheticEGS:
+    def test_same_seed_reproduces_identical_egs(self):
+        first = generate_synthetic_egs(CONFIG)
+        second = generate_synthetic_egs(CONFIG)
+        assert _egs_edge_sets(first) == _egs_edge_sets(second)
+
+    def test_different_seed_changes_the_egs(self):
+        import dataclasses
+
+        other = dataclasses.replace(CONFIG, seed=124)
+        assert _egs_edge_sets(generate_synthetic_egs(CONFIG)) != _egs_edge_sets(
+            generate_synthetic_egs(other)
+        )
+
+    def test_same_seed_reproduces_identical_matrices(self):
+        ems_a = EvolvingMatrixSequence.from_graphs(
+            generate_synthetic_egs(CONFIG), kind=MatrixKind.RANDOM_WALK
+        )
+        ems_b = EvolvingMatrixSequence.from_graphs(
+            generate_synthetic_egs(CONFIG), kind=MatrixKind.RANDOM_WALK
+        )
+        for a, b in zip(ems_a, ems_b):
+            assert list(a.items()) == list(b.items())
+
+
+class TestGrowingEGS:
+    def test_same_seed_reproduces_identical_egs(self):
+        make = lambda: growing_egs(
+            nodes=30, snapshots=5, initial_edges=60, edges_per_step=7, seed=77,
+            directed=False,
+        )
+        assert _egs_edge_sets(make()) == _egs_edge_sets(make())
+
+    def test_different_seed_changes_the_egs(self):
+        a = growing_egs(nodes=30, snapshots=5, initial_edges=60, edges_per_step=7, seed=77)
+        b = growing_egs(nodes=30, snapshots=5, initial_edges=60, edges_per_step=7, seed=78)
+        assert _egs_edge_sets(a) != _egs_edge_sets(b)
+
+
+class TestBuildingBlocksRequireExplicitSeeding:
+    def test_barabasi_albert_seed_equals_equivalent_rng(self):
+        from_seed = barabasi_albert_edges(50, 3, seed=5)
+        from_rng = barabasi_albert_edges(50, 3, np.random.default_rng(5))
+        assert from_seed == from_rng
+
+    def test_barabasi_albert_rejects_unseeded_use(self):
+        with pytest.raises(DatasetError):
+            barabasi_albert_edges(50, 3)
+
+    def test_barabasi_albert_rejects_both_rng_and_seed(self):
+        with pytest.raises(DatasetError):
+            barabasi_albert_edges(50, 3, np.random.default_rng(5), seed=5)
+
+    def test_edge_pool_seed_determinism(self):
+        assert generate_edge_pool(CONFIG, seed=9) == generate_edge_pool(CONFIG, seed=9)
+        with pytest.raises(DatasetError):
+            generate_edge_pool(CONFIG)

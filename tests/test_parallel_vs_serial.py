@@ -1,0 +1,166 @@
+"""Differential suite: parallel execution is bitwise-identical to serial.
+
+For every algorithm (BF, INC, CINC, CLUDE, plus the QC drivers) and several
+generated EMS workloads, decomposing with a process-pool executor at 1, 2
+and 4 workers must reproduce the serial output *bitwise*: identical L/U
+factor entries (exact float equality, no tolerance), identical orderings,
+identical fill sizes, cluster assignments, structural-op counts and
+quality-loss values.  This is the same verification contract PR 1
+established for batched vs. scalar solves, extended across the process
+boundary: the parallel engine re-schedules the exact same per-unit routines,
+and pickling float64 values is value-exact, so nothing may drift.
+
+The suite spawns many worker pools, so it is marked ``slow`` and runs in a
+dedicated CI job with a timeout guard.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+import pytest
+
+from repro.core.bf import decompose_sequence_bf
+from repro.core.cinc import decompose_sequence_cinc
+from repro.core.clude import decompose_sequence_clude
+from repro.core.inc import decompose_sequence_inc
+from repro.core.problem import LUDEMQCProblem
+from repro.core.qc import solve_qc_cinc, solve_qc_clude
+from repro.core.quality import MarkowitzReference
+from repro.core.result import SequenceResult
+from repro.core.solver import EMSSolver
+from repro.exec import ParallelExecutor, SerialExecutor, canonical_sequence_state
+from repro.graphs.ems import EvolvingMatrixSequence
+from repro.graphs.generators import SyntheticEGSConfig, generate_synthetic_egs, growing_egs
+from repro.graphs.matrixkind import MatrixKind
+from repro.sparse.csr import SparseMatrix
+
+pytestmark = pytest.mark.slow
+
+WORKER_COUNTS = [1, 2, 4]
+
+ALGORITHMS = {
+    "BF": lambda matrices, executor: decompose_sequence_bf(matrices, executor=executor),
+    "INC": lambda matrices, executor: decompose_sequence_inc(matrices, executor=executor),
+    "CINC": lambda matrices, executor: decompose_sequence_cinc(
+        matrices, alpha=0.9, executor=executor
+    ),
+    "CLUDE": lambda matrices, executor: decompose_sequence_clude(
+        matrices, alpha=0.9, executor=executor
+    ),
+}
+
+
+def _directed_workload(seed: int, snapshots: int = 8, delta_edges: int = 12) -> List[SparseMatrix]:
+    config = SyntheticEGSConfig(
+        nodes=50,
+        edge_pool_size=450,
+        average_degree=4,
+        delta_edges=delta_edges,
+        snapshots=snapshots,
+        seed=seed,
+    )
+    egs = generate_synthetic_egs(config)
+    return list(EvolvingMatrixSequence.from_graphs(egs, kind=MatrixKind.RANDOM_WALK))
+
+
+def _symmetric_workload(seed: int, snapshots: int = 6) -> List[SparseMatrix]:
+    egs = growing_egs(
+        nodes=36, snapshots=snapshots, initial_edges=72, edges_per_step=8,
+        seed=seed, directed=False,
+    )
+    return list(EvolvingMatrixSequence.from_graphs(egs, kind=MatrixKind.SYMMETRIC_WALK))
+
+
+#: Several generated EMS workloads with different cluster structure: the
+#: churny directed one fragments into many clusters, the mild one into few,
+#: and the symmetric one exercises the SYMMETRIC_WALK matrices.
+WORKLOADS = {
+    "directed-mild": lambda: _directed_workload(seed=3, delta_edges=8),
+    "directed-churny": lambda: _directed_workload(seed=11, delta_edges=28),
+    "symmetric-growing": lambda: _symmetric_workload(seed=9),
+}
+
+_workload_cache: Dict[str, List[SparseMatrix]] = {}
+_serial_cache: Dict[Tuple[str, str], SequenceResult] = {}
+
+
+def _matrices(workload: str) -> List[SparseMatrix]:
+    if workload not in _workload_cache:
+        _workload_cache[workload] = WORKLOADS[workload]()
+    return _workload_cache[workload]
+
+
+def _serial_result(algorithm: str, workload: str) -> SequenceResult:
+    key = (algorithm, workload)
+    if key not in _serial_cache:
+        _serial_cache[key] = ALGORITHMS[algorithm](_matrices(workload), None)
+    return _serial_cache[key]
+
+
+# The "everything except timing" reduction shared with the speedup
+# benchmark's validity gate — one definition of bitwise equivalence.
+canonical_state = canonical_sequence_state
+
+
+def assert_bitwise_equal(serial: SequenceResult, parallel: SequenceResult, matrices) -> None:
+    assert parallel.algorithm == serial.algorithm
+    assert parallel.cluster_count == serial.cluster_count
+    assert len(parallel) == len(serial)
+    assert canonical_state(parallel) == canonical_state(serial)
+    # Quality-loss is a pure function of orderings and matrices, evaluated
+    # through independent reference caches for each side: must match bitwise.
+    serial_losses = serial.quality_losses(matrices, MarkowitzReference())
+    parallel_losses = parallel.quality_losses(matrices, MarkowitzReference())
+    assert serial_losses == parallel_losses
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+@pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+def test_parallel_bitwise_equals_serial(algorithm, workload, workers):
+    matrices = _matrices(workload)
+    serial = _serial_result(algorithm, workload)
+    parallel = ALGORITHMS[algorithm](matrices, ParallelExecutor(workers=workers))
+    assert_bitwise_equal(serial, parallel, matrices)
+
+
+@pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+def test_explicit_serial_executor_equals_default(algorithm):
+    matrices = _matrices("directed-mild")
+    default = _serial_result(algorithm, "directed-mild")
+    explicit = ALGORITHMS[algorithm](matrices, SerialExecutor())
+    assert canonical_state(explicit) == canonical_state(default)
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+@pytest.mark.parametrize("solver", ["cinc", "clude"])
+def test_qc_parallel_bitwise_equals_serial(solver, workers):
+    matrices = _symmetric_workload(seed=5)
+    problem = LUDEMQCProblem(
+        ems=EvolvingMatrixSequence(matrices), quality_requirement=0.15
+    )
+    run = solve_qc_cinc if solver == "cinc" else solve_qc_clude
+    serial = run(problem, reference=MarkowitzReference(symmetric=True))
+    parallel = run(
+        problem,
+        reference=MarkowitzReference(symmetric=True),
+        executor=ParallelExecutor(workers=workers),
+    )
+    assert_bitwise_equal(serial, parallel, matrices)
+
+
+@pytest.mark.parametrize("workers", [4])
+def test_solver_facade_solutions_are_bitwise_identical(workers):
+    matrices = _matrices("directed-mild")
+    ems = EvolvingMatrixSequence(matrices)
+    serial_solver = EMSSolver(ems, algorithm="CLUDE", alpha=0.9)
+    parallel_solver = EMSSolver(
+        ems, algorithm="CLUDE", alpha=0.9, executor=ParallelExecutor(workers=workers)
+    )
+    b = np.linspace(1.0, 2.0, ems.n)
+    serial_series = serial_solver.solve_series(b)
+    parallel_series = parallel_solver.solve_series(b)
+    assert serial_series.shape == parallel_series.shape
+    assert np.array_equal(serial_series, parallel_series)
