@@ -1,0 +1,115 @@
+"""Query planner vs. naive per-query solving on a mixed measure workload.
+
+The paper's amortization argument, measured end to end: a heterogeneous
+batch of RWR + PPR + PageRank queries over a handful of
+``(snapshot, damping)`` systems costs the planner one factorization per
+distinct system matrix plus batched substitutions, while the naive baseline
+(each query answered through a fresh
+:class:`~repro.measures.base.SnapshotMeasureSolver`, exactly what calling
+the legacy entry points without a shared solver does) re-factorizes for
+every query.  Acceptance floor: >= 2x on the default 64-query workload.
+
+Runs standalone in a few seconds::
+
+    PYTHONPATH=src python benchmarks/bench_query_planner.py
+    PYTHONPATH=src python benchmarks/bench_query_planner.py --nodes 120 --queries 64
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from typing import List
+
+import numpy as np
+
+from repro.graphs.generators import growing_egs
+from repro.measures.pagerank import pagerank_scores
+from repro.measures.ppr import ppr_scores
+from repro.measures.rwr import rwr_scores
+from repro.query import QueryBatch, QueryPlanner
+
+
+def build_workload(nodes: int, queries: int, snapshots: int = 2):
+    """Return (batch, thunk list) for a mixed RWR+PPR+PageRank workload.
+
+    Queries cycle measure kind, snapshot and damping, giving
+    ``snapshots * 2`` distinct system matrices for the whole batch.
+    """
+    egs = growing_egs(
+        nodes=nodes,
+        snapshots=snapshots,
+        initial_edges=nodes * 3,
+        edges_per_step=nodes // 4,
+        seed=42,
+    )
+    dampings = (0.85, 0.6)
+    batch = QueryBatch()
+    naive: List = []
+    rng = np.random.default_rng(7)
+    for position in range(queries):
+        snapshot = egs[position % snapshots]
+        damping = dampings[(position // snapshots) % len(dampings)]
+        kind = position % 3
+        if kind == 0:
+            start = int(rng.integers(0, nodes))
+            batch.add_rwr(snapshot, start, damping=damping)
+            naive.append(lambda s=snapshot, u=start, d=damping: rwr_scores(s, u, damping=d))
+        elif kind == 1:
+            seeds = tuple(int(x) for x in rng.choice(nodes, size=3, replace=False))
+            batch.add_ppr(snapshot, seeds, damping=damping)
+            naive.append(lambda s=snapshot, q=seeds, d=damping: ppr_scores(s, q, damping=d))
+        else:
+            batch.add_pagerank(snapshot, damping=damping)
+            naive.append(lambda s=snapshot, d=damping: pagerank_scores(s, damping=d))
+    return batch, naive
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nodes", type=int, default=200, help="graph size")
+    parser.add_argument("--queries", type=int, default=64, help="batch size")
+    parser.add_argument("--snapshots", type=int, default=2, help="distinct snapshots")
+    parser.add_argument("--reps", type=int, default=3, help="timing repetitions")
+    args = parser.parse_args()
+
+    batch, naive = build_workload(args.nodes, args.queries, args.snapshots)
+
+    naive_times = []
+    naive_results = None
+    for _ in range(args.reps):
+        started = time.perf_counter()
+        naive_results = [thunk() for thunk in naive]
+        naive_times.append(time.perf_counter() - started)
+
+    planner_times = []
+    outcome = None
+    for _ in range(args.reps):
+        planner = QueryPlanner()  # fresh cache: measure cold factorization too
+        started = time.perf_counter()
+        outcome = planner.run(batch)
+        planner_times.append(time.perf_counter() - started)
+
+    for answer, reference in zip(outcome, naive_results):
+        assert answer.tobytes() == reference.tobytes(), "planner != naive answers"
+
+    naive_best = min(naive_times)
+    planner_best = min(planner_times)
+    speedup = naive_best / planner_best
+    stats = outcome.stats
+    print(f"mixed workload: {stats.queries} queries "
+          f"({args.snapshots} snapshots x 2 dampings, RWR/PPR/PageRank cycle)")
+    print(f"distinct system matrices : {stats.groups}")
+    print(f"planner factorizations   : {stats.factorizations}")
+    print(f"naive factorizations     : {stats.queries}")
+    print(f"naive per-query solving  : {naive_best * 1e3:9.2f} ms")
+    print(f"planner (cold cache)     : {planner_best * 1e3:9.2f} ms")
+    print(f"speedup                  : {speedup:9.2f}x   (floor: 2x)")
+    assert stats.factorizations == stats.groups, "planner re-factorized a group"
+    if speedup < 2.0:
+        raise SystemExit(f"FAIL: speedup {speedup:.2f}x below the 2x floor")
+    print("PASS")
+
+
+if __name__ == "__main__":
+    main()

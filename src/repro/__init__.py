@@ -23,6 +23,13 @@ from repro.graphs.egs import EvolvingGraphSequence
 from repro.graphs.ems import EvolvingMatrixSequence
 from repro.graphs.matrixkind import MatrixKind
 from repro.graphs.snapshot import GraphSnapshot
+from repro.query import (
+    MeasureSpec,
+    Query,
+    QueryBatch,
+    QueryPlanner,
+    registered_measures,
+)
 from repro.sparse.csr import SparseMatrix
 from repro.sparse.pattern import SparsityPattern
 from repro.sparse.permutation import Ordering, Permutation
@@ -42,4 +49,9 @@ __all__ = [
     "available_algorithms",
     "SerialExecutor",
     "ParallelExecutor",
+    "MeasureSpec",
+    "Query",
+    "QueryBatch",
+    "QueryPlanner",
+    "registered_measures",
 ]

@@ -5,11 +5,20 @@ algorithm (BF / INC / CINC / CLUDE), decompose every matrix of an evolving
 matrix sequence, and then answer arbitrarily many ``A_i x = b`` queries with
 forward/backward substitution — the use case motivating the whole paper
 (measure time series over an evolving graph sequence).
+
+When built with graph context (:meth:`EMSSolver.from_graphs`), the solver
+also plugs into the query-planning layer: :meth:`EMSSolver.seed_planner`
+pre-populates a :class:`~repro.query.planner.QueryPlanner` factor cache with
+the sequence's decompositions (one entry per EMS index, under
+:meth:`system_token`), and :meth:`plan` / :meth:`execute` answer
+heterogeneous measure batches against those factors with zero extra
+factorizations — every planner lookup is a counted cache hit.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence, Union
+import dataclasses
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -20,7 +29,12 @@ from repro.core.inc import decompose_sequence_inc
 from repro.core.result import SequenceResult
 from repro.errors import MeasureError
 from repro.exec.executors import Executor
+from repro.graphs.egs import EvolvingGraphSequence
 from repro.graphs.ems import EvolvingMatrixSequence
+from repro.graphs.matrixkind import DEFAULT_DAMPING, MatrixKind
+from repro.query.batch import QueryBatch
+from repro.query.planner import BatchResult, QueryPlan, QueryPlanner
+from repro.query.spec import FactorizedSystem, Query, SystemKey
 
 #: Signature of a sequence decomposition routine.
 SequenceAlgorithm = Callable[..., SequenceResult]
@@ -88,6 +102,39 @@ class EMSSolver:
         self._alpha = alpha
         self._executor = executor
         self._result: Optional[SequenceResult] = None
+        # Graph context (snapshots + matrix kind + damping) is only ever set
+        # by from_graphs, which composes the EMS itself — so the context can
+        # never disagree with how the matrices were actually built.
+        self._egs: Optional[EvolvingGraphSequence] = None
+        self._kind: MatrixKind = MatrixKind.RANDOM_WALK
+        self._damping: float = DEFAULT_DAMPING
+        self._planner: Optional[QueryPlanner] = None
+
+    @classmethod
+    def from_graphs(
+        cls,
+        egs: EvolvingGraphSequence,
+        kind: MatrixKind = MatrixKind.RANDOM_WALK,
+        damping: float = DEFAULT_DAMPING,
+        algorithm: str = "CLUDE",
+        alpha: float = 0.95,
+        executor: Union[Executor, int, None] = None,
+    ) -> "EMSSolver":
+        """Build the solver from a graph sequence, keeping the graph context.
+
+        The context (snapshots, matrix kind, damping) is what lets the
+        solver seed query planners and answer measure batches directly; an
+        EMS alone cannot, because queries are phrased against snapshots.
+        This is the only way to attach graph context: the EMS is composed
+        here from exactly that context, so the seeded factors always belong
+        to the matrices the queries describe.
+        """
+        ems = EvolvingMatrixSequence.from_graphs(egs, kind=kind, damping=damping)
+        solver = cls(ems, algorithm=algorithm, alpha=alpha, executor=executor)
+        solver._egs = egs
+        solver._kind = kind
+        solver._damping = damping
+        return solver
 
     @property
     def ems(self) -> EvolvingMatrixSequence:
@@ -149,6 +196,123 @@ class EMSSolver:
         """
         result = self.decompose()
         return np.array(result.solve_all_many(block))
+
+    # ------------------------------------------------------------------ #
+    # Query-planner integration
+    # ------------------------------------------------------------------ #
+    def system_token(self, index: int) -> Tuple[Hashable, ...]:
+        """Return the system-key token pinning a query to EMS index ``index``.
+
+        Tokens are per-index (not per-content), so an EGS that repeats a
+        snapshot still resolves each index to exactly the factors the
+        decomposition stored for it.
+        """
+        if not 0 <= index < len(self._ems):
+            raise MeasureError(f"snapshot index {index} out of bounds for T={len(self._ems)}")
+        return ("ems", id(self), int(index))
+
+    def seed_planner(
+        self,
+        planner: Optional[QueryPlanner] = None,
+        executor: Union[Executor, int, None] = None,
+    ) -> QueryPlanner:
+        """Seed a query planner's factor cache with this solver's factors.
+
+        One :class:`~repro.query.spec.FactorizedSystem` per EMS index is
+        installed under ``(system_token(i), kind, damping)``, so planner
+        groups that target this sequence are answered without any new
+        factorization — the measure-series fast path.  Requires graph
+        context (:meth:`from_graphs`): a bare-EMS solver cannot know which
+        ``(kind, damping)`` its matrices encode, and seeding under a guessed
+        key would answer queries from the wrong system.  ``executor`` only
+        applies when a fresh planner is created here; pass it on the
+        existing planner instead when supplying ``planner=``.
+        """
+        if self._egs is None:
+            raise MeasureError(
+                "this EMSSolver has no graph context; build it with "
+                "EMSSolver.from_graphs to seed query planners"
+            )
+        if planner is not None and executor is not None:
+            raise MeasureError(
+                "pass executor only when seed_planner creates the planner; "
+                "an existing planner keeps its own executor"
+            )
+        result = self.decompose()
+        if planner is None:
+            planner = QueryPlanner(
+                executor=executor if executor is not None else self._executor
+            )
+        for index, matrix in enumerate(self._ems):
+            decomposition = result[index]
+            planner.cache.seed(
+                SystemKey(
+                    system=self.system_token(index),
+                    kind=self._kind,
+                    damping=self._damping,
+                ),
+                FactorizedSystem(matrix, decomposition.ordering, decomposition.factors),
+            )
+        return planner
+
+    @property
+    def planner(self) -> QueryPlanner:
+        """The lazily-seeded query planner bound to this solver's factors."""
+        if self._planner is None:
+            self._planner = self.seed_planner()
+        return self._planner
+
+    def planner_cache_info(self) -> Dict[str, int]:
+        """Per-group factor-cache statistics of the bound planner."""
+        return self.planner.cache_info()
+
+    def _attach_tokens(self, batch: Union[QueryBatch, Sequence[Query]]) -> QueryBatch:
+        """Pin batch queries to this solver's factors where possible.
+
+        Queries without an explicit ``system_token`` whose snapshot is one of
+        the solver's snapshots (content match, first index wins) and whose
+        ``(kind, damping)`` agree with the solver's are rewritten to that
+        index's token; everything else is left untouched and will be
+        factorized on demand by the planner.
+        """
+        if self._egs is None:
+            raise MeasureError(
+                "this EMSSolver has no graph context; build it with "
+                "EMSSolver.from_graphs to plan measure queries"
+            )
+        index_of = {}
+        for index, snapshot in enumerate(self._egs):
+            index_of.setdefault(snapshot, index)
+        from repro.query.spec import get_spec
+
+        queries: List[Query] = []
+        for query in batch:
+            spec = get_spec(query.measure)
+            if (
+                query.system_token is None
+                and query.damping == self._damping
+                and spec.kind is self._kind
+                and spec.build_matrix is None
+                and not spec.matrix_params
+                and query.snapshot in index_of
+            ):
+                query = dataclasses.replace(
+                    query, system_token=self.system_token(index_of[query.snapshot])
+                )
+            queries.append(query)
+        return QueryBatch(queries)
+
+    def plan(self, batch: Union[QueryBatch, Sequence[Query]]) -> QueryPlan:
+        """Group a measure batch against this solver's factor cache."""
+        return self.planner.plan(self._attach_tokens(batch))
+
+    def execute(self, plan: QueryPlan) -> BatchResult:
+        """Execute a planned batch through the seeded planner."""
+        return self.planner.execute(plan)
+
+    def run_batch(self, batch: Union[QueryBatch, Sequence[Query]]) -> BatchResult:
+        """Plan and execute a measure batch in one call."""
+        return self.execute(self.plan(batch))
 
     def verify(self, tolerance: float = 1e-7) -> float:
         """Return the maximum solve residual across snapshots for a probe query.

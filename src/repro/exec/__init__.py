@@ -24,6 +24,7 @@ from repro.exec.plan import (
     WorkUnit,
     plan_bf,
     plan_clustered,
+    plan_factor_batch,
     plan_inc,
 )
 from repro.exec.units import UnitResult, execute_unit
@@ -35,6 +36,7 @@ __all__ = [
     "plan_bf",
     "plan_inc",
     "plan_clustered",
+    "plan_factor_batch",
     "UnitResult",
     "execute_unit",
     "Executor",

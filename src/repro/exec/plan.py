@@ -151,6 +151,17 @@ def plan_bf(matrices: Sequence[SparseMatrix]) -> ExecutionPlan:
     return ExecutionPlan(algorithm="BF", sequence_length=len(matrices), units=units)
 
 
+def plan_factor_batch(matrices: Sequence[SparseMatrix]) -> ExecutionPlan:
+    """Plan a bag of *independent* system factorizations, one unit each.
+
+    This is the query planner's cache-miss fan-out: each distinct system
+    matrix of a query batch is Markowitz-ordered and Crout-decomposed by the
+    standard BF unit body, so factor groups ride the same executors (and the
+    same bitwise serial≡parallel contract) as sequence decompositions.
+    """
+    return plan_bf(matrices)
+
+
 def plan_inc(matrices: Sequence[SparseMatrix]) -> ExecutionPlan:
     """Plan INC: the whole sequence is one Bennett chain (a single unit)."""
     matrices = list(matrices)

@@ -14,6 +14,14 @@ holds the matrix "kinds" the library supports:
   experiments (DBLP co-authorship) require.
 * :data:`MatrixKind.LAPLACIAN` — ``A = I + L`` where ``L`` is the combinatorial
   Laplacian; an alternative symmetric form exposed for completeness.
+* :data:`MatrixKind.SALSA_AUTHORITY` / :data:`MatrixKind.SALSA_HUB` —
+  ``A = I - d (F B)`` respectively ``A = I - d (B F)`` where ``F`` is the
+  column-normalized forward walk and ``B`` the column-normalized backward
+  walk; the damped SALSA alternating-walk systems.
+
+Query-parameterized systems that do not fit the ``(snapshot, kind, damping)``
+signature (the discounted-hitting-time matrix, whose target row is masked)
+are exposed as standalone builders (:func:`hitting_time_matrix`).
 """
 
 from __future__ import annotations
@@ -21,6 +29,8 @@ from __future__ import annotations
 import enum
 import math
 from typing import Dict
+
+import numpy as np
 
 from repro.errors import MeasureError
 from repro.graphs.snapshot import GraphSnapshot
@@ -36,6 +46,8 @@ class MatrixKind(enum.Enum):
     RANDOM_WALK = "random_walk"
     SYMMETRIC_WALK = "symmetric_walk"
     LAPLACIAN = "laplacian"
+    SALSA_AUTHORITY = "salsa_authority"
+    SALSA_HUB = "salsa_hub"
 
 
 def column_normalized_matrix(snapshot: GraphSnapshot) -> SparseMatrix:
@@ -44,6 +56,76 @@ def column_normalized_matrix(snapshot: GraphSnapshot) -> SparseMatrix:
     return SparseMatrix.from_triples(
         snapshot.n,
         ((v, u, 1.0 / out_degrees[u]) for u, v in snapshot.edges),
+    )
+
+
+def backward_normalized_matrix(snapshot: GraphSnapshot) -> SparseMatrix:
+    """Return the column-normalized *backward* walk matrix.
+
+    Entry ``(u, v)`` is ``1 / in_degree(v)`` for every edge ``(u, v)``: column
+    ``v`` spreads unit mass over the predecessors of ``v``, i.e. one step of
+    following a link backwards.  Together with
+    :func:`column_normalized_matrix` (the forward step) it forms the SALSA
+    alternating walk.
+    """
+    in_degrees = snapshot.in_degrees()
+    return SparseMatrix.from_triples(
+        snapshot.n,
+        ((u, v, 1.0 / in_degrees[v]) for u, v in snapshot.edges),
+    )
+
+
+def salsa_walk_matrix(snapshot: GraphSnapshot, kind: MatrixKind) -> SparseMatrix:
+    """Return the combined SALSA transition matrix for one score side.
+
+    The authority chain follows a link backward then forward
+    (``forward @ backward`` in column-normalized convention); the hub chain
+    is the reverse composition.  The product runs on the CSR spgemm kernel.
+    """
+    forward = column_normalized_matrix(snapshot)
+    backward = backward_normalized_matrix(snapshot)
+    if kind is MatrixKind.SALSA_AUTHORITY:
+        return forward.multiply(backward)
+    if kind is MatrixKind.SALSA_HUB:
+        return backward.multiply(forward)
+    raise MeasureError(f"not a SALSA matrix kind: {kind!r}")
+
+
+def row_stochastic_matrix(snapshot: GraphSnapshot) -> SparseMatrix:
+    """Return the row-stochastic transition matrix ``P`` of the snapshot."""
+    out_degrees = snapshot.out_degrees()
+    edges = sorted(snapshot.edges)
+    if not edges:
+        return SparseMatrix.zeros(snapshot.n)
+    sources = np.array([u for u, _ in edges], dtype=np.int64)
+    targets = np.array([v for _, v in edges], dtype=np.int64)
+    weights = 1.0 / np.array([out_degrees[u] for u in sources.tolist()], dtype=np.float64)
+    return SparseMatrix.from_coo(snapshot.n, sources, targets, weights)
+
+
+def hitting_time_matrix(
+    snapshot: GraphSnapshot, target: int, damping: float = DEFAULT_DAMPING
+) -> SparseMatrix:
+    """Compose the discounted-hitting-time system matrix for one target.
+
+    The target row of the row-stochastic transition matrix is masked to the
+    identity (its equation is simply ``h(target) = 1``), every other row
+    carries ``-d P``, and the identity is added — all on the COO arrays,
+    with duplicate positions summed.
+    """
+    if not 0.0 < damping < 1.0:
+        raise MeasureError(f"damping factor must lie in (0, 1), got {damping}")
+    n = snapshot.n
+    if not 0 <= target < n:
+        raise MeasureError(f"target node {target} out of bounds for n={n}")
+    transition = row_stochastic_matrix(snapshot)
+    rows, cols, vals = transition.coo()
+    keep = rows != target
+    return SparseMatrix.from_coo(
+        n,
+        np.concatenate([rows[keep], np.arange(n, dtype=np.int64)]),
+        np.concatenate([cols[keep], np.arange(n, dtype=np.int64)]),
+        np.concatenate([-damping * vals[keep], np.ones(n, dtype=np.float64)]),
     )
 
 
@@ -103,7 +185,7 @@ def measure_matrix(
         Damping factor ``d`` for the random-walk kinds; must satisfy
         ``0 < d < 1`` so that ``A`` is strictly diagonally dominant.
     """
-    if kind in (MatrixKind.RANDOM_WALK, MatrixKind.SYMMETRIC_WALK):
+    if kind is not MatrixKind.LAPLACIAN:
         if not 0.0 < damping < 1.0:
             raise MeasureError(f"damping factor must lie in (0, 1), got {damping}")
     identity = SparseMatrix.identity(snapshot.n)
@@ -112,6 +194,9 @@ def measure_matrix(
         return identity.subtract(walk.scale(damping))
     if kind is MatrixKind.SYMMETRIC_WALK:
         walk = symmetric_normalized_matrix(snapshot)
+        return identity.subtract(walk.scale(damping))
+    if kind in (MatrixKind.SALSA_AUTHORITY, MatrixKind.SALSA_HUB):
+        walk = salsa_walk_matrix(snapshot, kind)
         return identity.subtract(walk.scale(damping))
     if kind is MatrixKind.LAPLACIAN:
         return identity.add(laplacian_matrix(snapshot))

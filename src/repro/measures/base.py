@@ -2,9 +2,12 @@
 
 Every measure in the paper is obtained by composing a matrix ``A`` from the
 graph and solving ``A x = b`` for a measure-specific right-hand side ``b``
-(Section 1).  :class:`SnapshotMeasureSolver` encapsulates that recipe for a
-single snapshot: compose the matrix, reorder it with Markowitz, decompose it
-once, then answer any number of queries by substitution.
+(Section 1).  The declarative form of that recipe lives in
+:mod:`repro.query.spec`; this module keeps the snapshot-level convenience
+wrapper: :class:`SnapshotMeasureSolver` composes the matrix for one
+``(snapshot, kind, damping)`` triple and holds its
+:class:`~repro.query.spec.FactorizedSystem` so any number of queries are
+answered by substitution.
 """
 
 from __future__ import annotations
@@ -16,9 +19,7 @@ import numpy as np
 from repro.errors import MeasureError
 from repro.graphs.matrixkind import DEFAULT_DAMPING, MatrixKind, measure_matrix
 from repro.graphs.snapshot import GraphSnapshot
-from repro.lu.crout import crout_decompose
-from repro.lu.markowitz import markowitz_ordering
-from repro.lu.solve import solve_reordered_system, solve_reordered_system_many
+from repro.query.spec import FactorizedSystem
 from repro.sparse.csr import SparseMatrix
 from repro.sparse.permutation import Ordering
 
@@ -26,12 +27,16 @@ from repro.sparse.permutation import Ordering
 class SnapshotMeasureSolver:
     """Decompose one snapshot's measure matrix and answer queries against it.
 
+    A thin wrapper over :class:`~repro.query.spec.FactorizedSystem`: compose
+    the matrix, reorder it with Markowitz, decompose it once, then answer any
+    number of queries by substitution.
+
     Parameters
     ----------
     snapshot:
         The graph snapshot.
     kind:
-        Matrix composition (random-walk or symmetric).
+        Matrix composition (random-walk, symmetric, SALSA, …).
     damping:
         Damping factor ``d``.
     reorder:
@@ -49,14 +54,9 @@ class SnapshotMeasureSolver:
             raise MeasureError(f"damping factor must lie in (0, 1), got {damping}")
         self._snapshot = snapshot
         self._damping = damping
-        self._matrix = measure_matrix(snapshot, kind=kind, damping=damping)
-        self._ordering: Optional[Ordering] = None
-        if reorder:
-            self._ordering = markowitz_ordering(self._matrix)
-            reordered = self._ordering.apply(self._matrix)
-            self._factors = crout_decompose(reordered)
-        else:
-            self._factors = crout_decompose(self._matrix)
+        self._system = FactorizedSystem.factorize(
+            measure_matrix(snapshot, kind=kind, damping=damping), reorder=reorder
+        )
 
     @property
     def snapshot(self) -> GraphSnapshot:
@@ -66,16 +66,26 @@ class SnapshotMeasureSolver:
     @property
     def matrix(self) -> SparseMatrix:
         """The composed measure matrix ``A``."""
-        return self._matrix
+        return self._system.matrix
 
     @property
     def damping(self) -> float:
         """The damping factor ``d``."""
         return self._damping
 
+    @property
+    def system(self) -> FactorizedSystem:
+        """The factorized system (matrix + ordering + factors)."""
+        return self._system
+
+    @property
+    def ordering(self) -> Optional[Ordering]:
+        """The Markowitz ordering applied before decomposition (if any)."""
+        return self._system.ordering
+
     def solve(self, b: Sequence[float]) -> np.ndarray:
         """Solve ``A x = b`` using the cached factors."""
-        return solve_reordered_system(self._factors, self._ordering, b)
+        return self._system.solve(b)
 
     def solve_many(self, block) -> np.ndarray:
         """Solve ``A X = B`` for an ``(n, k)`` block of measure queries.
@@ -84,7 +94,7 @@ class SnapshotMeasureSolver:
         from many start nodes, or PPR for many seed sets); each result column
         is bitwise identical to :meth:`solve` of that column.
         """
-        return solve_reordered_system_many(self._factors, self._ordering, block)
+        return self._system.solve_many(block)
 
 
 def normalize_distribution(vector: np.ndarray) -> np.ndarray:

@@ -10,9 +10,16 @@ satisfies a linear system over the non-target nodes::
 
 where ``P`` is the row-stochastic transition matrix.  Rearranged over all
 nodes it becomes ``(I - d P_masked) h = e_t`` with the target row masked to
-the identity, which again has the strictly-diagonally-dominant ``I - d M``
-shape used throughout the library.  Larger ``h(v)`` means ``t`` is easier to
-reach from ``v`` (a proximity measure, like RWR).
+the identity (composed by
+:func:`~repro.graphs.matrixkind.hitting_time_matrix`), which again has the
+strictly-diagonally-dominant ``I - d M`` shape used throughout the library.
+Larger ``h(v)`` means ``t`` is easier to reach from ``v`` (a proximity
+measure, like RWR).
+
+The measure is registered declaratively as the ``"hitting_time"``
+:class:`~repro.query.spec.MeasureSpec`; because the target masks a matrix
+row, ``target`` is a *matrix parameter* — the planner never shares a
+factorization between different targets.
 """
 
 from __future__ import annotations
@@ -21,26 +28,9 @@ from typing import Optional
 
 import numpy as np
 
-from repro.errors import MeasureError
 from repro.graphs.matrixkind import DEFAULT_DAMPING
 from repro.graphs.snapshot import GraphSnapshot
-from repro.lu.crout import crout_decompose
-from repro.lu.markowitz import markowitz_ordering
-from repro.lu.solve import solve_reordered_system
-from repro.sparse.csr import SparseMatrix
-from repro.sparse.vector import unit_vector
-
-
-def _row_stochastic(snapshot: GraphSnapshot) -> SparseMatrix:
-    """Return the row-stochastic transition matrix ``P`` of the snapshot."""
-    out_degrees = snapshot.out_degrees()
-    edges = sorted(snapshot.edges)
-    if not edges:
-        return SparseMatrix.zeros(snapshot.n)
-    sources = np.array([u for u, _ in edges], dtype=np.int64)
-    targets = np.array([v for _, v in edges], dtype=np.int64)
-    weights = 1.0 / np.array([out_degrees[u] for u in sources.tolist()], dtype=np.float64)
-    return SparseMatrix.from_coo(snapshot.n, sources, targets, weights)
+from repro.query.spec import evaluate, make_query
 
 
 def discounted_hitting_scores(
@@ -54,26 +44,8 @@ def discounted_hitting_scores(
     the discounted expectation recursion above.  Nodes that cannot reach the
     target get score 0.
     """
-    if not 0.0 < damping < 1.0:
-        raise MeasureError(f"damping factor must lie in (0, 1), got {damping}")
-    n = snapshot.n
-    if not 0 <= target < n:
-        raise MeasureError(f"target node {target} out of bounds for n={n}")
-    transition = _row_stochastic(snapshot)
-    # Mask the target row (its equation is simply h(target) = 1) and add the
-    # identity — all on the COO arrays, with duplicate positions summed.
-    rows, cols, vals = transition.coo()
-    keep = rows != target
-    system = SparseMatrix.from_coo(
-        n,
-        np.concatenate([rows[keep], np.arange(n, dtype=np.int64)]),
-        np.concatenate([cols[keep], np.arange(n, dtype=np.int64)]),
-        np.concatenate([-damping * vals[keep], np.ones(n, dtype=np.float64)]),
-    )
-    rhs = unit_vector(n, target, 1.0)
-    ordering = markowitz_ordering(system)
-    factors = crout_decompose(ordering.apply(system))
-    return solve_reordered_system(factors, ordering, rhs)
+    query = make_query("hitting_time", snapshot, damping=damping, target=int(target))
+    return evaluate(query)
 
 
 def discounted_hitting_proximity(

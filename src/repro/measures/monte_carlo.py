@@ -28,21 +28,43 @@ class MonteCarloResult:
     steps: int
 
 
+def _resolve_rng(
+    rng: Optional[np.random.Generator], seed: Optional[int]
+) -> np.random.Generator:
+    """Return the generator to use, refusing unseeded (non-reproducible) use.
+
+    The same explicit-randomness policy as :mod:`repro.graphs.generators`:
+    exactly one of ``rng`` / ``seed`` must be supplied — there is no fallback
+    to global/unseeded randomness.
+    """
+    if rng is not None:
+        if seed is not None:
+            raise MeasureError("pass either rng or seed, not both")
+        return rng
+    if seed is None:
+        raise MeasureError(
+            "unseeded simulation is not allowed: pass an explicit rng or seed"
+        )
+    return np.random.default_rng(seed)
+
+
 def rwr_monte_carlo(
     snapshot: GraphSnapshot,
     start_node: int,
     damping: float = DEFAULT_DAMPING,
     walks: int = 2000,
     max_steps_per_walk: int = 100,
-    seed: int = 0,
+    seed: Optional[int] = None,
     adjacency: Optional[Dict[int, List[int]]] = None,
+    rng: Optional[np.random.Generator] = None,
 ) -> MonteCarloResult:
     """Estimate the RWR stationary distribution by simulating random walks.
 
     Each walk starts at ``start_node``; at every step it restarts with
     probability ``1 - d`` and otherwise moves to a uniformly random
     out-neighbour (restarting when stuck at a dangling node).  Visit counts,
-    normalized, estimate the stationary distribution.
+    normalized, estimate the stationary distribution.  Exactly one of
+    ``rng`` / ``seed`` must be supplied (unseeded simulation raises).
     """
     if not 0.0 < damping < 1.0:
         raise MeasureError(f"damping factor must lie in (0, 1), got {damping}")
@@ -51,7 +73,7 @@ def rwr_monte_carlo(
     if walks <= 0:
         raise MeasureError("walks must be positive")
 
-    rng = np.random.default_rng(seed)
+    rng = _resolve_rng(rng, seed)
     if adjacency is None:
         adjacency = {node: sorted(successors) for node, successors in snapshot.adjacency().items()}
     visits = np.zeros(snapshot.n, dtype=float)

@@ -7,25 +7,33 @@ PageRank with damping ``d`` and uniform teleportation solves::
 where ``W`` is the column-normalized adjacency matrix.  The same decomposed
 matrix answers the PageRank query and any personalized variant, which is why
 the paper treats all of them uniformly as ``A x = b`` with ``A = I - d W``.
+
+The measure is registered declaratively as the ``"pagerank"``
+:class:`~repro.query.spec.MeasureSpec`; this module is a thin driver over
+the generic engine and the planner-backed series API.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.core.solver import EMSSolver
 from repro.graphs.egs import EvolvingGraphSequence
-from repro.graphs.ems import EvolvingMatrixSequence
-from repro.graphs.matrixkind import DEFAULT_DAMPING, MatrixKind
+from repro.graphs.matrixkind import DEFAULT_DAMPING
 from repro.graphs.snapshot import GraphSnapshot
 from repro.measures.base import SnapshotMeasureSolver
+from repro.measures.timeseries import MeasureSeries
+from repro.query.spec import evaluate, make_query, uniform_teleport_rhs
 
 
 def pagerank_rhs(n: int, damping: float = DEFAULT_DAMPING) -> np.ndarray:
-    """Return the uniform teleportation right-hand side ``((1 - d)/n) 1``."""
-    return np.full(n, (1.0 - damping) / n, dtype=float)
+    """Return the uniform teleportation right-hand side ``((1 - d)/n) 1``.
+
+    Delegates to the canonical builder the ``"pagerank"`` spec registers, so
+    this helper and the planner can never drift apart.
+    """
+    return uniform_teleport_rhs(n, damping)
 
 
 def pagerank_scores(
@@ -34,10 +42,7 @@ def pagerank_scores(
     solver: Optional[SnapshotMeasureSolver] = None,
 ) -> np.ndarray:
     """Return the PageRank vector of one snapshot (solved exactly via LU)."""
-    solver = solver or SnapshotMeasureSolver(
-        snapshot, kind=MatrixKind.RANDOM_WALK, damping=damping
-    )
-    return solver.solve(pagerank_rhs(snapshot.n, damping))
+    return evaluate(make_query("pagerank", snapshot, damping=damping), system=solver)
 
 
 def pagerank_series(
@@ -50,19 +55,12 @@ def pagerank_series(
     """Return PageRank time series for selected nodes over a whole EGS.
 
     This is the paper's motivating workload (Figure 1): decompose every
-    snapshot's matrix with a LUDEM algorithm, then solve the same
-    teleportation right-hand side against each snapshot.
+    snapshot's matrix with a LUDEM algorithm, then answer the per-snapshot
+    PageRank queries through the factor-seeded query planner (each
+    snapshot's group reuses the decomposition, so the whole series costs
+    zero extra factorizations).
 
     Returns an array of shape ``(T, len(nodes))``.
     """
-    ems = EvolvingMatrixSequence.from_graphs(
-        egs, kind=MatrixKind.RANDOM_WALK, damping=damping
-    )
-    ems_solver = EMSSolver(ems, algorithm=algorithm, alpha=alpha)
-    # Route through the batched kernel path (k = 1); columns of a batched
-    # solve are bitwise identical to scalar solves, so this changes nothing
-    # numerically while keeping the series on the vectorized sweeps.
-    rhs = pagerank_rhs(egs.n, damping)
-    solutions = ems_solver.solve_series_batched(rhs[:, None])[:, :, 0]
-    node_list: List[int] = [int(node) for node in nodes]
-    return solutions[:, node_list]
+    series = MeasureSeries(egs, damping=damping, algorithm=algorithm, alpha=alpha)
+    return series.pagerank(nodes)

@@ -8,6 +8,11 @@ restarts at ``u``.  The stationary distribution ``x_u`` solves::
 
 where ``W`` is the column-normalized adjacency matrix and ``q_u`` the unit
 vector at ``u``.  Large ``x_u(v)`` means ``v`` is close to ``u``.
+
+The measure is registered declaratively as the ``"rwr"``
+:class:`~repro.query.spec.MeasureSpec`; this module is a thin driver over
+the generic engine (:func:`~repro.query.spec.evaluate`), kept for its
+established entry points and RHS helpers.
 """
 
 from __future__ import annotations
@@ -16,15 +21,20 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.graphs.matrixkind import DEFAULT_DAMPING, MatrixKind
+from repro.graphs.matrixkind import DEFAULT_DAMPING
 from repro.graphs.snapshot import GraphSnapshot
 from repro.measures.base import SnapshotMeasureSolver
-from repro.sparse.vector import unit_vector
+from repro.query.spec import evaluate, evaluate_block, make_query
+from repro.query.spec import rwr_rhs as _canonical_rwr_rhs
 
 
 def rwr_rhs(n: int, start_node: int, damping: float = DEFAULT_DAMPING) -> np.ndarray:
-    """Return the right-hand side ``(1 - d) q_u`` for a start node."""
-    return unit_vector(n, start_node, value=1.0 - damping)
+    """Return the right-hand side ``(1 - d) q_u`` for a start node.
+
+    Delegates to the canonical builder the ``"rwr"`` spec registers, so this
+    helper and the planner can never drift apart.
+    """
+    return _canonical_rwr_rhs(n, start_node, damping)
 
 
 def rwr_scores(
@@ -46,10 +56,8 @@ def rwr_scores(
     solver:
         Optional pre-built solver for the snapshot (reused across queries).
     """
-    solver = solver or SnapshotMeasureSolver(
-        snapshot, kind=MatrixKind.RANDOM_WALK, damping=damping
-    )
-    return solver.solve(rwr_rhs(snapshot.n, start_node, damping))
+    query = make_query("rwr", snapshot, damping=damping, start_node=int(start_node))
+    return evaluate(query, system=solver)
 
 
 def rwr_many_rhs(
@@ -76,10 +84,13 @@ def rwr_scores_many(
     the decomposition is reused and a single forward/backward sweep answers
     every start node.
     """
-    solver = solver or SnapshotMeasureSolver(
-        snapshot, kind=MatrixKind.RANDOM_WALK, damping=damping
+    return evaluate_block(
+        "rwr",
+        snapshot,
+        [{"start_node": int(node)} for node in start_nodes],
+        damping=damping,
+        system=solver,
     )
-    return solver.solve_many(rwr_many_rhs(snapshot.n, start_nodes, damping))
 
 
 def rwr_proximity(

@@ -11,49 +11,24 @@ backward and forward walk matrices.  Hub scores use the transposed
 combination.  A damped formulation is used so the system matrix keeps the
 strictly-diagonally-dominant ``I - d M`` shape shared by every measure in the
 library (and the paper's framework).
+
+Both sides are registered declaratively (``"salsa_authority"`` /
+``"salsa_hub"`` :class:`~repro.query.spec.MeasureSpec`), with the combined
+walk composed by :data:`~repro.graphs.matrixkind.MatrixKind.SALSA_AUTHORITY`
+/ :data:`~repro.graphs.matrixkind.MatrixKind.SALSA_HUB` on the CSR spgemm
+kernel — the hand-rolled dict-of-dicts product this module used to carry is
+gone.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 
-from repro.errors import MeasureError
 from repro.graphs.matrixkind import DEFAULT_DAMPING
 from repro.graphs.snapshot import GraphSnapshot
-from repro.lu.crout import crout_decompose
-from repro.lu.markowitz import markowitz_ordering
-from repro.lu.solve import solve_reordered_system
-from repro.sparse.csr import SparseMatrix
-
-
-def _normalized_forward_backward(snapshot: GraphSnapshot) -> Tuple[SparseMatrix, SparseMatrix]:
-    """Return column-normalized forward (out-edge) and backward (in-edge) matrices."""
-    n = snapshot.n
-    out_degrees = snapshot.out_degrees()
-    in_degrees = snapshot.in_degrees()
-    forward = SparseMatrix.from_triples(
-        n, ((v, u, 1.0 / out_degrees[u]) for u, v in snapshot.edges)
-    )
-    backward = SparseMatrix.from_triples(
-        n, ((u, v, 1.0 / in_degrees[v]) for u, v in snapshot.edges)
-    )
-    return forward, backward
-
-
-def _sparse_product(a: SparseMatrix, b: SparseMatrix) -> SparseMatrix:
-    """Return the sparse matrix product ``a @ b``."""
-    entries: Dict[Tuple[int, int], float] = {}
-    b_rows = {i: dict(b.row(i)) for i in range(b.n)}
-    for i, k, value_ik in a.items():
-        row_k = b_rows.get(k)
-        if not row_k:
-            continue
-        for j, value_kj in row_k.items():
-            key = (i, j)
-            entries[key] = entries.get(key, 0.0) + value_ik * value_kj
-    return SparseMatrix(a.n, entries)
+from repro.query.spec import evaluate, make_query
 
 
 def salsa_scores(
@@ -61,21 +36,6 @@ def salsa_scores(
     damping: float = DEFAULT_DAMPING,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Return damped SALSA ``(authority, hub)`` score vectors for a snapshot."""
-    if not 0.0 < damping < 1.0:
-        raise MeasureError(f"damping factor must lie in (0, 1), got {damping}")
-    if snapshot.edge_count == 0:
-        uniform = np.full(snapshot.n, 1.0 / max(snapshot.n, 1))
-        return uniform.copy(), uniform.copy()
-    forward, backward = _normalized_forward_backward(snapshot)
-    # Authority chain: backward then forward; hub chain: forward then backward.
-    authority_walk = _sparse_product(forward, backward)
-    hub_walk = _sparse_product(backward, forward)
-    rhs = np.full(snapshot.n, (1.0 - damping) / snapshot.n, dtype=float)
-
-    def solve_for(walk: SparseMatrix) -> np.ndarray:
-        system = SparseMatrix.identity(snapshot.n).subtract(walk.scale(damping))
-        ordering = markowitz_ordering(system)
-        factors = crout_decompose(ordering.apply(system))
-        return solve_reordered_system(factors, ordering, rhs)
-
-    return solve_for(authority_walk), solve_for(hub_walk)
+    authority = evaluate(make_query("salsa_authority", snapshot, damping=damping))
+    hub = evaluate(make_query("salsa_hub", snapshot, damping=damping))
+    return authority, hub

@@ -2,25 +2,31 @@
 
 The paper's motivating workload (Examples 1-3, Figure 1) is: evaluate a
 graph measure at *every* snapshot of an EGS and analyse the resulting time
-series.  :class:`MeasureSeries` wires the LUDEM machinery to that workload —
-decompose every snapshot matrix once, answer one query per snapshot, and hand
-the series to the analysis helpers in :mod:`repro.analysis`.
+series.  :class:`MeasureSeries` wires the LUDEM machinery to that workload
+through the query planner: decompose every snapshot matrix once (with the
+chosen LUDEM algorithm), seed a
+:class:`~repro.query.planner.QueryPlanner` factor cache with the
+decompositions, and phrase every series as a :class:`~repro.query.batch.
+QueryBatch` — one group per snapshot, answered by a single batched
+substitution sweep against the cached factors.  The planner's per-group
+statistics (:meth:`MeasureSeries.cache_info`) make the amortization
+observable: a whole series run adds zero factorizations.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.core.solver import EMSSolver
 from repro.errors import MeasureError
+from repro.exec.executors import Executor
 from repro.graphs.egs import EvolvingGraphSequence
-from repro.graphs.ems import EvolvingMatrixSequence
 from repro.graphs.matrixkind import DEFAULT_DAMPING, MatrixKind
-from repro.measures.pagerank import pagerank_rhs
-from repro.measures.ppr import ppr_many_rhs, ppr_rhs
-from repro.measures.rwr import rwr_many_rhs, rwr_rhs
+from repro.query.batch import QueryBatch
+from repro.query.planner import BatchResult, QueryPlan
+from repro.query.spec import Query
 
 
 class MeasureSeries:
@@ -36,6 +42,8 @@ class MeasureSeries:
         The LUDEM algorithm used to decompose the matrix sequence.
     alpha:
         Similarity threshold for the cluster-based algorithms.
+    executor:
+        Executor for the decomposition work units (``None`` = serial).
     """
 
     def __init__(
@@ -44,15 +52,20 @@ class MeasureSeries:
         damping: float = DEFAULT_DAMPING,
         algorithm: str = "CLUDE",
         alpha: float = 0.95,
+        executor: Union[Executor, int, None] = None,
     ) -> None:
         if not 0.0 < damping < 1.0:
             raise MeasureError(f"damping factor must lie in (0, 1), got {damping}")
         self._egs = egs
         self._damping = damping
-        ems = EvolvingMatrixSequence.from_graphs(
-            egs, kind=MatrixKind.RANDOM_WALK, damping=damping
+        self._solver = EMSSolver.from_graphs(
+            egs,
+            kind=MatrixKind.RANDOM_WALK,
+            damping=damping,
+            algorithm=algorithm,
+            alpha=alpha,
+            executor=executor,
         )
-        self._solver = EMSSolver(ems, algorithm=algorithm, alpha=alpha)
 
     @property
     def egs(self) -> EvolvingGraphSequence:
@@ -65,17 +78,67 @@ class MeasureSeries:
         return self._solver
 
     # ------------------------------------------------------------------ #
+    # Planner entry points
+    # ------------------------------------------------------------------ #
+    def plan(self, batch: Union[QueryBatch, Sequence[Query]]) -> QueryPlan:
+        """Group a heterogeneous batch against the series' factor cache."""
+        return self._solver.plan(batch)
+
+    def execute(self, plan: QueryPlan) -> BatchResult:
+        """Execute a planned batch through the factor-seeded planner."""
+        return self._solver.execute(plan)
+
+    def run_batch(self, batch: Union[QueryBatch, Sequence[Query]]) -> BatchResult:
+        """Plan and execute a measure batch in one call."""
+        return self._solver.run_batch(batch)
+
+    def cache_info(self) -> Dict[str, int]:
+        """Per-group factor-cache statistics of the series planner."""
+        return self._solver.planner_cache_info()
+
+    def _snapshot_batch(self, per_snapshot_queries: int, add) -> np.ndarray:
+        """Run one batch with ``per_snapshot_queries`` queries per snapshot.
+
+        ``add(batch, snapshot, token)`` appends that snapshot's queries (in
+        column order); the results come back as a ``(T, n, k)`` array, or
+        ``(T, n)`` when ``per_snapshot_queries == 1``.
+        """
+        batch = QueryBatch()
+        for index, snapshot in enumerate(self._egs):
+            add(batch, snapshot, self._solver.system_token(index))
+        outcome = self._solver.run_batch(batch)
+        T = len(self._egs)
+        k = per_snapshot_queries
+        stacked = np.stack(
+            [
+                np.column_stack(outcome.results[index * k:(index + 1) * k])
+                for index in range(T)
+            ]
+        )
+        if k == 1:
+            return stacked[:, :, 0]
+        return stacked
+
+    # ------------------------------------------------------------------ #
     # Series extraction
     # ------------------------------------------------------------------ #
     def pagerank(self, nodes: Sequence[int]) -> np.ndarray:
         """Return PageRank time series of selected nodes, shape ``(T, len(nodes))``."""
-        solutions = self._solver.solve_series(pagerank_rhs(self._egs.n, self._damping))
+        solutions = self._snapshot_batch(
+            1,
+            lambda batch, snapshot, token: batch.add_pagerank(
+                snapshot, damping=self._damping, system_token=token
+            ),
+        )
         return solutions[:, [int(node) for node in nodes]]
 
     def rwr(self, start_node: int, targets: Optional[Sequence[int]] = None) -> np.ndarray:
         """Return RWR time series from ``start_node`` to ``targets`` (default: all nodes)."""
-        solutions = self._solver.solve_series(
-            rwr_rhs(self._egs.n, start_node, self._damping)
+        solutions = self._snapshot_batch(
+            1,
+            lambda batch, snapshot, token: batch.add_rwr(
+                snapshot, start_node, damping=self._damping, system_token=token
+            ),
         )
         if targets is None:
             return solutions
@@ -83,8 +146,12 @@ class MeasureSeries:
 
     def ppr(self, seeds: Iterable[int], targets: Optional[Sequence[int]] = None) -> np.ndarray:
         """Return PPR time series for a seed set, restricted to ``targets`` if given."""
-        solutions = self._solver.solve_series(
-            ppr_rhs(self._egs.n, seeds, self._damping)
+        seed_tuple = tuple(int(s) for s in seeds)
+        solutions = self._snapshot_batch(
+            1,
+            lambda batch, snapshot, token: batch.add_ppr(
+                snapshot, seed_tuple, damping=self._damping, system_token=token
+            ),
         )
         if targets is None:
             return solutions
@@ -93,13 +160,21 @@ class MeasureSeries:
     def rwr_many(self, start_nodes: Sequence[int]) -> np.ndarray:
         """Return RWR series for many start nodes, shape ``(T, n, k)``.
 
-        Each snapshot issues one batched solve for all ``k`` start nodes
-        instead of ``k`` scalar solves; slice ``[:, :, c]`` is bitwise
-        identical to ``self.rwr(start_nodes[c])``.
+        Each snapshot forms one planner group, so one batched solve answers
+        all ``k`` start nodes; slice ``[:, :, c]`` is bitwise identical to
+        ``self.rwr(start_nodes[c])``.
         """
-        return self._solver.solve_series_batched(
-            rwr_many_rhs(self._egs.n, start_nodes, self._damping)
-        )
+        starts = [int(node) for node in start_nodes]
+        if not starts:
+            return np.zeros((len(self._egs), self._egs.n, 0))
+
+        def add(batch, snapshot, token):
+            for start in starts:
+                batch.add_rwr(
+                    snapshot, start, damping=self._damping, system_token=token
+                )
+
+        return self._snapshot_batch(len(starts), add)
 
     def ppr_many(self, seed_sets: Sequence[Iterable[int]]) -> np.ndarray:
         """Return PPR series for many seed sets, shape ``(T, n, k)``.
@@ -108,9 +183,17 @@ class MeasureSeries:
         every seed set; slice ``[:, :, c]`` is bitwise identical to
         ``self.ppr(seed_sets[c])``.
         """
-        return self._solver.solve_series_batched(
-            ppr_many_rhs(self._egs.n, seed_sets, self._damping)
-        )
+        frozen_sets = [tuple(int(s) for s in seeds) for seeds in seed_sets]
+        if not frozen_sets:
+            return np.zeros((len(self._egs), self._egs.n, 0))
+
+        def add(batch, snapshot, token):
+            for seeds in frozen_sets:
+                batch.add_ppr(
+                    snapshot, seeds, damping=self._damping, system_token=token
+                )
+
+        return self._snapshot_batch(len(frozen_sets), add)
 
     def group_proximity_series(
         self, seeds: Iterable[int], groups: Sequence[Sequence[int]]
@@ -121,9 +204,7 @@ class MeasureSeries:
         the PPR scores of group ``g``'s nodes at snapshot ``t`` when ``seeds``
         are the restart nodes (the paper's company-proximity aggregate).
         """
-        solutions = self._solver.solve_series(
-            ppr_rhs(self._egs.n, seeds, self._damping)
-        )
+        solutions = self.ppr(seeds)
         columns: List[np.ndarray] = []
         for group in groups:
             indices = [int(node) for node in group]

@@ -1,0 +1,62 @@
+"""Declarative measure IR and the factor-reusing query planner.
+
+The layering this package establishes::
+
+    measures (thin drivers: rwr, ppr, pagerank, salsa, hitting_time)
+        └── query   (MeasureSpec IR · QueryBatch · QueryPlanner + FactorCache)
+              ├── lu      (Markowitz ordering · Crout factors · substitution)
+              │     └── sparse kernels (CSR matvec / spgemm / batched solves)
+              └── exec    (work units · serial / parallel executors)
+
+A :class:`MeasureSpec` declares how a measure becomes an ``A x = b``
+instance; a :class:`QueryBatch` collects heterogeneous queries; a
+:class:`QueryPlanner` groups them by shared system matrix, factorizes each
+group exactly once (dispatching independent groups as executor work units)
+and answers every group with one batched multi-RHS solve.
+"""
+
+from repro.query.batch import QueryBatch
+from repro.query.planner import (
+    BatchResult,
+    DirectAnswer,
+    FactorCache,
+    PlannedGroup,
+    PlannerStats,
+    QueryPlan,
+    QueryPlanner,
+)
+from repro.query.spec import (
+    FactorizedSystem,
+    MeasureSpec,
+    Query,
+    SystemKey,
+    evaluate,
+    evaluate_block,
+    get_spec,
+    make_query,
+    register_spec,
+    registered_measures,
+    system_key,
+)
+
+__all__ = [
+    "MeasureSpec",
+    "Query",
+    "SystemKey",
+    "FactorizedSystem",
+    "make_query",
+    "system_key",
+    "evaluate",
+    "evaluate_block",
+    "register_spec",
+    "get_spec",
+    "registered_measures",
+    "QueryBatch",
+    "QueryPlanner",
+    "QueryPlan",
+    "PlannedGroup",
+    "DirectAnswer",
+    "PlannerStats",
+    "BatchResult",
+    "FactorCache",
+]

@@ -1,0 +1,141 @@
+"""Heterogeneous query batches: the planner's unit of work.
+
+A :class:`QueryBatch` is an ordered collection of :class:`~repro.query.spec.
+Query` objects — mixed measures, mixed start nodes / seed sets, mixed
+snapshots and dampings.  Order is meaningful: the planner answers the batch
+positionally (``result[i]`` belongs to ``batch[i]``), whatever grouping it
+applies internally.
+
+The ``add_*`` helpers freeze raw parameters into canonical query form (seed
+iterables become tuples, node ids become ints) and return the batch itself,
+so a mixed workload reads as a fluent chain::
+
+    batch = (QueryBatch()
+             .add_rwr(g, start_node=3)
+             .add_ppr(g, seeds=[1, 4])
+             .add_pagerank(g, damping=0.9))
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator, List, Optional, Sequence
+
+from repro.graphs.matrixkind import DEFAULT_DAMPING
+from repro.graphs.snapshot import GraphSnapshot
+from repro.query.spec import Query, make_query
+
+
+class QueryBatch:
+    """An ordered, positionally-answered collection of measure queries."""
+
+    def __init__(self, queries: Iterable[Query] = ()) -> None:
+        self._queries: List[Query] = list(queries)
+
+    # ------------------------------------------------------------------ #
+    # Container protocol
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._queries)
+
+    def __iter__(self) -> Iterator[Query]:
+        return iter(self._queries)
+
+    def __getitem__(self, index: int) -> Query:
+        return self._queries[index]
+
+    @property
+    def queries(self) -> Sequence[Query]:
+        """The stored queries, in answer order."""
+        return tuple(self._queries)
+
+    def __repr__(self) -> str:
+        measures = {}
+        for query in self._queries:
+            measures[query.measure] = measures.get(query.measure, 0) + 1
+        inventory = ", ".join(f"{name}: {count}" for name, count in sorted(measures.items()))
+        return f"QueryBatch({len(self._queries)} queries; {inventory})"
+
+    # ------------------------------------------------------------------ #
+    # Builders
+    # ------------------------------------------------------------------ #
+    def add(self, query: Query) -> "QueryBatch":
+        """Append an already-built query."""
+        self._queries.append(query)
+        return self
+
+    def extend(self, queries: Iterable[Query]) -> "QueryBatch":
+        """Append many already-built queries."""
+        self._queries.extend(queries)
+        return self
+
+    def add_rwr(
+        self,
+        snapshot: GraphSnapshot,
+        start_node: int,
+        damping: float = DEFAULT_DAMPING,
+        system_token: Optional[Hashable] = None,
+    ) -> "QueryBatch":
+        """Append a Random-Walk-with-Restart query."""
+        return self.add(make_query(
+            "rwr", snapshot, damping=damping, system_token=system_token,
+            start_node=int(start_node),
+        ))
+
+    def add_ppr(
+        self,
+        snapshot: GraphSnapshot,
+        seeds: Iterable[int],
+        damping: float = DEFAULT_DAMPING,
+        system_token: Optional[Hashable] = None,
+    ) -> "QueryBatch":
+        """Append a Personalized-PageRank query for one seed set."""
+        return self.add(make_query(
+            "ppr", snapshot, damping=damping, system_token=system_token,
+            seeds=tuple(int(s) for s in seeds),
+        ))
+
+    def add_pagerank(
+        self,
+        snapshot: GraphSnapshot,
+        damping: float = DEFAULT_DAMPING,
+        system_token: Optional[Hashable] = None,
+    ) -> "QueryBatch":
+        """Append a global PageRank query."""
+        return self.add(make_query(
+            "pagerank", snapshot, damping=damping, system_token=system_token,
+        ))
+
+    def add_hitting_time(
+        self,
+        snapshot: GraphSnapshot,
+        target: int,
+        damping: float = DEFAULT_DAMPING,
+        system_token: Optional[Hashable] = None,
+    ) -> "QueryBatch":
+        """Append a discounted-hitting-time query towards one target."""
+        return self.add(make_query(
+            "hitting_time", snapshot, damping=damping, system_token=system_token,
+            target=int(target),
+        ))
+
+    def add_salsa_authority(
+        self,
+        snapshot: GraphSnapshot,
+        damping: float = DEFAULT_DAMPING,
+        system_token: Optional[Hashable] = None,
+    ) -> "QueryBatch":
+        """Append a SALSA authority-scores query."""
+        return self.add(make_query(
+            "salsa_authority", snapshot, damping=damping, system_token=system_token,
+        ))
+
+    def add_salsa_hub(
+        self,
+        snapshot: GraphSnapshot,
+        damping: float = DEFAULT_DAMPING,
+        system_token: Optional[Hashable] = None,
+    ) -> "QueryBatch":
+        """Append a SALSA hub-scores query."""
+        return self.add(make_query(
+            "salsa_hub", snapshot, damping=damping, system_token=system_token,
+        ))

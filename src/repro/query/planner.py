@@ -1,0 +1,354 @@
+"""The factor-reusing query planner.
+
+``N`` queries should cost ``#distinct-system-matrices`` factorizations, not
+``N``.  The planner makes that explicit in two phases:
+
+* :meth:`QueryPlanner.plan` groups a heterogeneous
+  :class:`~repro.query.batch.QueryBatch` by
+  :func:`~repro.query.spec.system_key` — queries that share a
+  ``(snapshot, kind, damping, matrix-params)`` system matrix land in the
+  same :class:`PlannedGroup`, in first-appearance order.  Queries a spec can
+  answer in closed form (shortcuts) are split off as direct answers.
+* :meth:`QueryPlanner.execute` factorizes each group's matrix **exactly
+  once** — cache misses are dispatched as independent work units through the
+  :mod:`repro.exec` executors, so distinct factor groups can run on a worker
+  pool — then answers every group with a single batched multi-RHS
+  substitution sweep and scatters the columns back to batch positions.
+
+The factor cache outlives a single batch: a second batch over the same
+snapshots costs zero factorizations, and sequence-level solvers
+(:meth:`repro.core.solver.EMSSolver.seed_planner`) pre-seed it with their
+decompositions so measure series ride on already-computed factors.  Every
+numerical path is the same batched kernel stack used everywhere else, so
+planner answers are bitwise identical to the legacy per-measure drivers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import OrderedDict
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import MeasureError
+from repro.exec.executors import Executor, resolve_executor
+from repro.exec.plan import plan_factor_batch
+from repro.query.batch import QueryBatch
+from repro.query.spec import (
+    FactorizedSystem,
+    Query,
+    SystemKey,
+    get_spec,
+    system_key,
+)
+
+
+class FactorCache:
+    """Cache of :class:`FactorizedSystem` objects keyed by :class:`SystemKey`.
+
+    Tracks hits and misses at *group* granularity (one lookup per planned
+    group, not per query), which is what the acceptance counters assert
+    against.  Entries seeded via :meth:`seed` (e.g. from an EMS
+    decomposition) count as ordinary hits when used.
+
+    Parameters
+    ----------
+    max_systems:
+        Optional LRU bound for long-lived serving planners over evolving
+        graphs, where every new snapshot is a new key and an unbounded cache
+        would grow without limit.  ``None`` (the default) keeps every entry —
+        required for the bitwise guarantees of seeded sequence planners: an
+        evicted entry is transparently re-factorized from scratch, which is
+        still an exact solve but not necessarily bit-identical to the
+        decomposition-seeded factors it replaced.
+    """
+
+    def __init__(self, max_systems: Optional[int] = None) -> None:
+        if max_systems is not None and max_systems < 1:
+            raise MeasureError(f"max_systems must be positive, got {max_systems}")
+        self._systems: "OrderedDict[SystemKey, FactorizedSystem]" = OrderedDict()
+        self._max_systems = max_systems
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._systems)
+
+    def __contains__(self, key: SystemKey) -> bool:
+        return key in self._systems
+
+    def lookup(self, key: SystemKey) -> Optional[FactorizedSystem]:
+        """Return the cached system for ``key`` and count the hit or miss."""
+        system = self._systems.get(key)
+        if system is None:
+            self._misses += 1
+        else:
+            self._hits += 1
+            self._systems.move_to_end(key)
+        return system
+
+    def peek(self, key: SystemKey) -> Optional[FactorizedSystem]:
+        """Return the cached system without touching counters or recency."""
+        return self._systems.get(key)
+
+    def _install(self, key: SystemKey, system: FactorizedSystem) -> None:
+        self._systems[key] = system
+        self._systems.move_to_end(key)
+        if self._max_systems is not None:
+            while len(self._systems) > self._max_systems:
+                self._systems.popitem(last=False)
+                self._evictions += 1
+
+    def seed(self, key: SystemKey, system: FactorizedSystem) -> None:
+        """Install a system without touching the counters (pre-population)."""
+        self._install(key, system)
+
+    def store(self, key: SystemKey, system: FactorizedSystem) -> None:
+        """Install a freshly factorized system (after a counted miss)."""
+        self._install(key, system)
+
+    def cache_info(self) -> Dict[str, int]:
+        """Return hit/miss/eviction/size counters (the factor-reuse statistics)."""
+        return {
+            "hits": self._hits,
+            "misses": self._misses,
+            "evictions": self._evictions,
+            "size": len(self._systems),
+        }
+
+    def clear(self) -> None:
+        """Drop every cached system and reset the counters."""
+        self._systems.clear()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+
+@dataclasses.dataclass(frozen=True)
+class PlannedGroup:
+    """All queries of one batch that share one system matrix."""
+
+    key: SystemKey
+    positions: Tuple[int, ...]
+    queries: Tuple[Query, ...]
+
+    @property
+    def size(self) -> int:
+        """Number of queries in the group (the batched-solve width)."""
+        return len(self.queries)
+
+
+@dataclasses.dataclass(frozen=True)
+class DirectAnswer:
+    """A query answered in closed form by its spec's shortcut."""
+
+    position: int
+    query: Query
+    answer: np.ndarray
+
+
+@dataclasses.dataclass(frozen=True)
+class QueryPlan:
+    """The grouped form of one batch: factor groups plus direct answers."""
+
+    batch: QueryBatch
+    groups: Tuple[PlannedGroup, ...]
+    direct: Tuple[DirectAnswer, ...]
+
+    @property
+    def group_count(self) -> int:
+        """Number of distinct system matrices the batch needs."""
+        return len(self.groups)
+
+    def __len__(self) -> int:
+        return len(self.batch)
+
+
+@dataclasses.dataclass(frozen=True)
+class PlannerStats:
+    """What one :meth:`QueryPlanner.execute` run cost.
+
+    ``factorizations`` is the acceptance-criteria counter: it equals the
+    number of planned groups whose key was not already in the factor cache —
+    at most one factorization per distinct system matrix, ever.
+    """
+
+    queries: int
+    groups: int
+    factorizations: int
+    cache_hits: int
+    direct_answers: int
+
+
+@dataclasses.dataclass
+class BatchResult:
+    """Positional answers of one batch plus the run's reuse statistics."""
+
+    results: List[np.ndarray]
+    stats: PlannerStats
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __getitem__(self, index: int) -> np.ndarray:
+        return self.results[index]
+
+
+class QueryPlanner:
+    """Group queries by shared system matrix; factorize once per group.
+
+    Parameters
+    ----------
+    executor:
+        How cache-miss factorizations are scheduled: ``None`` (default) runs
+        them serially in-process; an ``int`` or an
+        :class:`~repro.exec.executors.Executor` fans independent factor
+        groups out exactly like the sequence-decomposition work units.
+        Results are bitwise identical regardless of the executor.
+    cache:
+        An existing :class:`FactorCache` to share or pre-seed; a fresh one is
+        created when omitted.
+    """
+
+    def __init__(
+        self,
+        executor: Union[Executor, int, None] = None,
+        cache: Optional[FactorCache] = None,
+    ) -> None:
+        self._executor = executor
+        self._cache = cache if cache is not None else FactorCache()
+
+    @property
+    def cache(self) -> FactorCache:
+        """The planner's factor cache (shared, seedable, inspectable)."""
+        return self._cache
+
+    def cache_info(self) -> Dict[str, int]:
+        """Lifetime hit/miss/size counters of the factor cache."""
+        return self._cache.cache_info()
+
+    # ------------------------------------------------------------------ #
+    # Planning
+    # ------------------------------------------------------------------ #
+    def plan(self, batch: Union[QueryBatch, Sequence[Query]]) -> QueryPlan:
+        """Group a batch by system key (first-appearance order, stable).
+
+        Every query lands in exactly one group or one direct answer; the
+        group count equals the number of distinct system matrices among the
+        non-shortcut queries.
+        """
+        if not isinstance(batch, QueryBatch):
+            batch = QueryBatch(batch)
+        order: List[SystemKey] = []
+        grouped: Dict[SystemKey, List[int]] = {}
+        direct: List[DirectAnswer] = []
+        for position, query in enumerate(batch):
+            spec = get_spec(query.measure)
+            if spec.shortcut is not None:
+                answer = spec.shortcut(query.snapshot, query.damping, query.param_dict)
+                if answer is not None:
+                    direct.append(DirectAnswer(position, query, answer))
+                    continue
+            key = system_key(query)
+            if key not in grouped:
+                grouped[key] = []
+                order.append(key)
+            grouped[key].append(position)
+        groups = tuple(
+            PlannedGroup(
+                key=key,
+                positions=tuple(grouped[key]),
+                queries=tuple(batch[p] for p in grouped[key]),
+            )
+            for key in order
+        )
+        return QueryPlan(batch=batch, groups=groups, direct=tuple(direct))
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def execute(self, plan: QueryPlan) -> BatchResult:
+        """Run a plan: factorize miss groups once, batch-solve every group."""
+        systems: Dict[SystemKey, FactorizedSystem] = {}
+        misses: List[PlannedGroup] = []
+        for group in plan.groups:
+            cached = self._cache.lookup(group.key)
+            if cached is None:
+                misses.append(group)
+            else:
+                systems[group.key] = cached
+        # Use the freshly factorized systems directly: a size-bounded cache
+        # may already have evicted early ones by the time the batch solves.
+        systems.update(self._factorize(misses))
+        results: List[Optional[np.ndarray]] = [None] * len(plan.batch)
+        for group in plan.groups:
+            system = systems[group.key]
+            block = np.column_stack([
+                get_spec(query.measure).build_rhs(
+                    query.snapshot, query.damping, query.param_dict
+                )
+                for query in group.queries
+            ])
+            solutions = system.solve_many(block)
+            for column, (position, query) in enumerate(
+                zip(group.positions, group.queries)
+            ):
+                spec = get_spec(query.measure)
+                results[position] = spec.finalize(
+                    solutions[:, column], query.snapshot, query.damping,
+                    query.param_dict,
+                )
+        for direct in plan.direct:
+            # Copy: the plan may be executed again, and callers own their
+            # result arrays (the group path allocates fresh columns too).
+            results[direct.position] = direct.answer.copy()
+        stats = PlannerStats(
+            queries=len(plan.batch),
+            groups=len(plan.groups),
+            factorizations=len(misses),
+            cache_hits=len(plan.groups) - len(misses),
+            direct_answers=len(plan.direct),
+        )
+        return BatchResult(results=list(results), stats=stats)
+
+    def run(self, batch: Union[QueryBatch, Sequence[Query]]) -> BatchResult:
+        """Plan and execute a batch in one call."""
+        return self.execute(self.plan(batch))
+
+    # ------------------------------------------------------------------ #
+    # Factorization fan-out
+    # ------------------------------------------------------------------ #
+    def _factorize(
+        self, groups: Sequence[PlannedGroup]
+    ) -> Dict[SystemKey, FactorizedSystem]:
+        """Factorize each group's system matrix once, via the exec layer.
+
+        Returns the new systems keyed by group key (they are also stored in
+        the cache, which may evict them immediately if it is size-bounded).
+        """
+        if not groups:
+            return {}
+        matrices = []
+        for group in groups:
+            query = group.queries[0]
+            spec = get_spec(query.measure)
+            matrices.append(
+                spec.system_matrix(query.snapshot, query.damping, query.param_dict)
+            )
+        exec_plan = plan_factor_batch(matrices)
+        outcome = resolve_executor(self._executor).execute(exec_plan)
+        systems: Dict[SystemKey, FactorizedSystem] = {}
+        for group, matrix, decomposition in zip(
+            groups, matrices, outcome.decompositions
+        ):
+            system = FactorizedSystem(
+                matrix, decomposition.ordering, decomposition.factors
+            )
+            systems[group.key] = system
+            self._cache.store(group.key, system)
+        return systems

@@ -382,6 +382,33 @@ class SparseMatrix:
             row_ids=self._row_ids,
         )
 
+    def multiply(self, other: "SparseMatrix") -> "SparseMatrix":
+        """Return the sparse-sparse product ``A @ B`` as a new matrix.
+
+        Runs on the vectorized :func:`~repro.sparse.kernels.csr_spgemm`
+        kernel: deterministic (identical inputs give identical bits) with
+        the same structure as the historical dict-of-dicts product and
+        values equal to it up to the rounding of the pairwise reduction.
+        """
+        self._check_compatible(other)
+        return SparseMatrix._from_csr(
+            self._n,
+            *kernels.csr_spgemm(
+                self._n,
+                self._indptr,
+                self._indices,
+                self._data,
+                other._indptr,
+                other._indices,
+                other._data,
+            ),
+        )
+
+    def __matmul__(self, other: object):
+        if isinstance(other, SparseMatrix):
+            return self.multiply(other)
+        return NotImplemented
+
     def transpose(self) -> "SparseMatrix":
         """Return the transposed matrix."""
         return SparseMatrix._from_csr(

@@ -143,6 +143,46 @@ def csr_matmat(
     return out
 
 
+def csr_spgemm(
+    n: int,
+    a_indptr: np.ndarray,
+    a_indices: np.ndarray,
+    a_data: np.ndarray,
+    b_indptr: np.ndarray,
+    b_indices: np.ndarray,
+    b_data: np.ndarray,
+) -> CSRArrays:
+    """Return the CSR arrays of the sparse-sparse product ``A @ B``.
+
+    Every nonzero ``A[i, k]`` is expanded against the whole of row ``k`` of
+    ``B`` with one gather, and the resulting COO triples are canonicalized by
+    :func:`csr_from_coo`.  Contributions to one output entry are ordered as
+    the historical dict-of-dicts product ordered them (row-major over ``A``
+    with ``k`` increasing) and reduced with NumPy's pairwise summation, so
+    the product is deterministic — identical operands give identical bits —
+    and agrees with the sequential dict accumulation to within the rounding
+    of the reduction tree.  Exact cancellations are dropped.
+    """
+    counts = b_indptr[a_indices + 1] - b_indptr[a_indices]
+    total = int(counts.sum())
+    if total == 0:
+        return csr_from_coo(
+            n, np.zeros(0, np.int64), np.zeros(0, np.int64), np.zeros(0, np.float64)
+        )
+    a_rows = expand_row_ids(n, a_indptr)
+    out_rows = np.repeat(a_rows, counts)
+    # For A-nonzero t the expansion covers B slots b_indptr[k] … b_indptr[k+1);
+    # build those ranges as a flat offset array without a Python loop.
+    starts = np.repeat(b_indptr[a_indices], counts)
+    local = np.arange(total, dtype=np.int64) - np.repeat(
+        np.cumsum(counts) - counts, counts
+    )
+    slots = starts + local
+    out_cols = b_indices[slots]
+    out_vals = np.repeat(a_data, counts) * b_data[slots]
+    return csr_from_coo(n, out_rows, out_cols, out_vals)
+
+
 # ---------------------------------------------------------------------- #
 # Structure transforms
 # ---------------------------------------------------------------------- #

@@ -86,6 +86,72 @@ class TestProductsGolden:
         assert result.tolist() == [0.0, 3.0, 0.0, 0.0]
 
 
+def dict_style_product(a: SparseMatrix, b: SparseMatrix) -> SparseMatrix:
+    """The seed's hand-rolled dict-of-dicts product (the spgemm oracle)."""
+    entries = {}
+    b_rows = {i: dict(b.row(i)) for i in range(b.n)}
+    for i, k, value_ik in a.items():
+        row_k = b_rows.get(k)
+        if not row_k:
+            continue
+        for j, value_kj in row_k.items():
+            key = (i, j)
+            entries[key] = entries.get(key, 0.0) + value_ik * value_kj
+    return SparseMatrix(a.n, entries)
+
+
+class TestSpgemmGolden:
+    @pytest.mark.parametrize("n", SIZES)
+    def test_spgemm_matches_dense_product(self, n, rng):
+        a = random_sparse(n, rng)
+        b = random_sparse(n, rng)
+        assert np.allclose(a.multiply(b).to_dense(), a.to_dense() @ b.to_dense())
+
+    @pytest.mark.parametrize("n", SIZES)
+    def test_spgemm_matches_dict_product(self, n, rng):
+        # Same structure as the seed's dict-of-dicts product; values agree
+        # up to the rounding of the pairwise reduction (sequential vs
+        # pairwise summation of the same contribution order).
+        a = random_sparse(n, rng)
+        b = random_sparse(n, rng)
+        product = a.multiply(b)
+        oracle = dict_style_product(a, b)
+        assert product.indptr.tobytes() == oracle.indptr.tobytes()
+        assert product.indices.tobytes() == oracle.indices.tobytes()
+        assert np.allclose(product.data, oracle.data, rtol=1e-13, atol=1e-13)
+
+    @pytest.mark.parametrize("n", SIZES)
+    def test_spgemm_deterministic(self, n, rng):
+        a = random_sparse(n, rng)
+        b = random_sparse(n, rng)
+        first = a.multiply(b)
+        second = a.multiply(b)
+        assert first.data.tobytes() == second.data.tobytes()
+        assert first.indices.tobytes() == second.indices.tobytes()
+
+    def test_spgemm_matmul_operator(self, rng):
+        a = random_sparse(8, rng)
+        b = random_sparse(8, rng)
+        assert (a @ b) == a.multiply(b)
+
+    def test_spgemm_empty_and_identity(self):
+        zero = SparseMatrix.zeros(5)
+        eye = SparseMatrix.identity(5)
+        some = SparseMatrix(5, {(0, 1): 2.0, (3, 4): -1.5})
+        assert (zero @ some).nnz == 0
+        assert (some @ zero).nnz == 0
+        assert (eye @ some) == some
+        assert (some @ eye) == some
+        empty = SparseMatrix.zeros(0)
+        assert (empty @ empty).n == 0
+
+    def test_spgemm_cancellation_drops_exact_zeros(self):
+        # (row 0 of a) @ b accumulates 1*1 + 1*(-1) = 0 at (0, 0).
+        a = SparseMatrix(2, {(0, 0): 1.0, (0, 1): 1.0})
+        b = SparseMatrix(2, {(0, 0): 1.0, (1, 0): -1.0})
+        assert (a @ b).nnz == 0
+
+
 class TestDeltaGolden:
     @pytest.mark.parametrize("n", SIZES)
     def test_delta_matches_dense_difference(self, n, rng):

@@ -119,6 +119,26 @@ class TestRWRandPPR:
         with pytest.raises(MeasureError):
             rwr_monte_carlo(tiny_graph, start_node=0, walks=0)
 
+    def test_monte_carlo_unseeded_use_raises(self, tiny_graph):
+        # Same explicit-randomness policy as repro.graphs.generators: no
+        # fallback to global/unseeded randomness anywhere.
+        with pytest.raises(MeasureError):
+            rwr_monte_carlo(tiny_graph, start_node=0)
+        with pytest.raises(MeasureError):
+            rwr_monte_carlo(
+                tiny_graph, start_node=0, seed=1, rng=np.random.default_rng(1)
+            )
+
+    def test_monte_carlo_seed_and_rng_reproducible(self, tiny_graph):
+        by_seed = rwr_monte_carlo(tiny_graph, start_node=0, walks=200, seed=11)
+        again = rwr_monte_carlo(tiny_graph, start_node=0, walks=200, seed=11)
+        by_rng = rwr_monte_carlo(
+            tiny_graph, start_node=0, walks=200, rng=np.random.default_rng(11)
+        )
+        assert by_seed.scores.tobytes() == again.scores.tobytes()
+        assert by_seed.scores.tobytes() == by_rng.scores.tobytes()
+        assert by_seed.steps == by_rng.steps
+
 
 class TestSALSAandDHT:
     def test_salsa_scores_shape_and_positivity(self, tiny_graph):
