@@ -19,11 +19,13 @@ Typical usage::
 
 from repro.core.solver import EMSSolver, available_algorithms
 from repro.exec import ParallelExecutor, SerialExecutor
+from repro.graphs.delta import GraphDelta
 from repro.graphs.egs import EvolvingGraphSequence
 from repro.graphs.ems import EvolvingMatrixSequence
-from repro.graphs.matrixkind import MatrixKind
+from repro.graphs.matrixkind import MatrixKind, system_delta
 from repro.graphs.snapshot import GraphSnapshot
 from repro.query import (
+    FactorCache,
     MeasureSpec,
     Query,
     QueryBatch,
@@ -42,9 +44,12 @@ __all__ = [
     "Ordering",
     "Permutation",
     "GraphSnapshot",
+    "GraphDelta",
     "EvolvingGraphSequence",
     "EvolvingMatrixSequence",
     "MatrixKind",
+    "system_delta",
+    "FactorCache",
     "EMSSolver",
     "available_algorithms",
     "SerialExecutor",

@@ -32,6 +32,7 @@ from repro.exec.executors import Executor
 from repro.graphs.egs import EvolvingGraphSequence
 from repro.graphs.ems import EvolvingMatrixSequence
 from repro.graphs.matrixkind import DEFAULT_DAMPING, MatrixKind
+from repro.graphs.snapshot import GraphSnapshot
 from repro.query.batch import QueryBatch
 from repro.query.planner import BatchResult, QueryPlan, QueryPlanner
 from repro.query.spec import FactorizedSystem, Query, SystemKey
@@ -261,6 +262,41 @@ class EMSSolver:
         if self._planner is None:
             self._planner = self.seed_planner()
         return self._planner
+
+    def register_evolution(
+        self,
+        new_snapshot: GraphSnapshot,
+        from_index: Optional[int] = None,
+    ) -> QueryPlanner:
+        """Register ``new_snapshot`` as an evolution of one decomposed snapshot.
+
+        The serving continuation of a measure series: when the graph keeps
+        evolving after the sequence was decomposed, queries against the
+        evolved head should not pay a cold factorization.  This registers a
+        lineage from EMS index ``from_index`` (default: the last index) to
+        ``new_snapshot`` on the bound planner, so the first batch touching
+        ``new_snapshot`` Bennett-refreshes the seeded factors of that index
+        — answers match a cold factorization within numerical tolerance (the
+        refresh may also fall back, e.g. when CLUDE's static pattern cannot
+        absorb the delta's fill-in; see ``cache_info()``'s counters).
+
+        Returns the bound planner for chaining/inspection.
+        """
+        if self._egs is None:
+            raise MeasureError(
+                "this EMSSolver has no graph context; build it with "
+                "EMSSolver.from_graphs to register snapshot evolutions"
+            )
+        index = len(self._ems) - 1 if from_index is None else int(from_index)
+        if not 0 <= index < len(self._ems):
+            raise MeasureError(
+                f"snapshot index {index} out of bounds for T={len(self._ems)}"
+            )
+        planner = self.planner
+        planner.register_evolution(
+            self._egs[index], new_snapshot, old_system=self.system_token(index)
+        )
+        return planner
 
     def planner_cache_info(self) -> Dict[str, int]:
         """Per-group factor-cache statistics of the bound planner."""

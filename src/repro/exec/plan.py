@@ -26,8 +26,10 @@ from repro.core.clustering import MatrixCluster
 from repro.errors import EmptySequenceError, MeasureError
 from repro.sparse.csr import SparseMatrix
 
-#: Algorithms whose plans this module knows how to build.
-PLANNABLE_ALGORITHMS = ("BF", "INC", "CINC", "CLUDE")
+#: Algorithms whose plans this module knows how to build.  ``REFRESH`` is the
+#: query planner's delta-refresh unit: a Bennett update of cloned factors
+#: instead of a from-scratch decomposition.
+PLANNABLE_ALGORITHMS = ("BF", "INC", "CINC", "CLUDE", "REFRESH")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -160,6 +162,41 @@ def plan_factor_batch(matrices: Sequence[SparseMatrix]) -> ExecutionPlan:
     same bitwise serial≡parallel contract) as sequence decompositions.
     """
     return plan_bf(matrices)
+
+
+def plan_refresh_batch(
+    jobs: Sequence[Tuple[SparseMatrix, object, object, Dict]],
+) -> ExecutionPlan:
+    """Plan a bag of independent factor refreshes, one unit each.
+
+    Each job is ``(new_matrix, factors, ordering, delta)``: a cloned factor
+    container currently holding the *old* system's LU, the ordering it was
+    decomposed under, and the sparse system-matrix delta **already mapped
+    into reordered coordinates**.  The unit body Bennett-updates the clone in
+    place; a numerical failure (pattern violation, pivot breakdown) is
+    reported as ``factors=None`` in the unit's decomposition rather than
+    raised, so one failed refresh falls back to a cold factorization without
+    aborting its siblings.
+    """
+    jobs = list(jobs)
+    if not jobs:
+        raise EmptySequenceError("cannot plan an empty refresh batch")
+    units = tuple(
+        WorkUnit(
+            unit_id=index,
+            algorithm="REFRESH",
+            start=index,
+            members=(matrix,),
+            cluster_id=index,
+            options=_freeze_options({
+                "factors": factors,
+                "ordering": ordering,
+                "delta": tuple(sorted(delta.items())),
+            }),
+        )
+        for index, (matrix, factors, ordering, delta) in enumerate(jobs)
+    )
+    return ExecutionPlan(algorithm="REFRESH", sequence_length=len(jobs), units=units)
 
 
 def plan_inc(matrices: Sequence[SparseMatrix]) -> ExecutionPlan:

@@ -64,10 +64,41 @@ def execute_unit(unit: WorkUnit) -> UnitResult:
         decompositions = decompose_cluster_clude(
             unit.members, unit.start, unit.cluster_id, stopwatch, **unit.option_dict
         )
+    elif unit.algorithm == "REFRESH":
+        decompositions = [_execute_refresh(unit, stopwatch)]
     else:  # pragma: no cover - WorkUnit.__post_init__ rejects unknown names
         raise MeasureError(f"unknown work-unit algorithm {unit.algorithm!r}")
     return UnitResult(
         unit_id=unit.unit_id,
         decompositions=decompositions,
         timings=stopwatch.totals(),
+    )
+
+
+def _execute_refresh(unit: WorkUnit, stopwatch: Stopwatch) -> MatrixDecomposition:
+    """Bennett-update one refresh unit's cloned factors in place.
+
+    Numerical failures (fill outside a static pattern, pivot breakdown) are
+    *expected* outcomes with a defined fallback — cold factorization — so
+    they are reported as ``factors=None`` instead of raised; raising inside a
+    worker would abort every sibling unit of the batch.
+    """
+    from repro.errors import PatternError, SingularMatrixError
+    from repro.lu.bennett import bennett_update
+
+    options = unit.option_dict
+    factors = options["factors"]
+    ordering = options["ordering"]
+    delta = dict(options["delta"])
+    with stopwatch.time("bennett"):
+        try:
+            bennett_update(factors, delta)
+        except (PatternError, SingularMatrixError):
+            factors = None
+    return MatrixDecomposition(
+        index=unit.start,
+        ordering=ordering,
+        factors=factors,
+        fill_size=factors.fill_size if factors is not None else 0,
+        cluster_id=unit.cluster_id,
     )

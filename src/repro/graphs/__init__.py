@@ -1,6 +1,6 @@
 """Evolving graphs: snapshots, deltas, sequences and matrix composition."""
 
-from repro.graphs.delta import GraphDelta
+from repro.graphs.delta import GraphDelta, touched_nodes, touched_sources
 from repro.graphs.egs import EvolvingGraphSequence
 from repro.graphs.ems import EvolvingMatrixSequence, ems_from_graphs
 from repro.graphs.generators import (
@@ -9,7 +9,12 @@ from repro.graphs.generators import (
     growing_egs,
 )
 from repro.graphs.io import load_egs, save_egs
-from repro.graphs.matrixkind import DEFAULT_DAMPING, MatrixKind, measure_matrix
+from repro.graphs.matrixkind import (
+    DEFAULT_DAMPING,
+    MatrixKind,
+    measure_matrix,
+    system_delta,
+)
 from repro.graphs.snapshot import GraphSnapshot
 
 __all__ = [
@@ -20,6 +25,9 @@ __all__ = [
     "ems_from_graphs",
     "MatrixKind",
     "measure_matrix",
+    "system_delta",
+    "touched_nodes",
+    "touched_sources",
     "DEFAULT_DAMPING",
     "SyntheticEGSConfig",
     "generate_synthetic_egs",

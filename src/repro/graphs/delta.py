@@ -80,3 +80,17 @@ def touched_nodes(delta: GraphDelta) -> Tuple[int, ...]:
         nodes.add(u)
         nodes.add(v)
     return tuple(sorted(nodes))
+
+
+def touched_sources(delta: GraphDelta) -> Tuple[int, ...]:
+    """Return the sorted set of *source* nodes of any changed edge.
+
+    These are the nodes whose out-neighbourhood differs between the two
+    snapshots.  Under column normalization a changed out-degree rescales the
+    node's whole column, so these are exactly the columns of ``W`` (and of
+    ``A = I - d W``) that must be replaced — the localization the
+    system-delta layer relies on.
+    """
+    sources = {u for u, _ in delta.added}
+    sources.update(u for u, _ in delta.removed)
+    return tuple(sorted(sources))

@@ -22,19 +22,32 @@ holds the matrix "kinds" the library supports:
 Query-parameterized systems that do not fit the ``(snapshot, kind, damping)``
 signature (the discounted-hitting-time matrix, whose target row is masked)
 are exposed as standalone builders (:func:`hitting_time_matrix`).
+
+The module also holds the *system-delta* layer (:func:`system_delta`): given
+two same-``n`` snapshots and the :class:`~repro.graphs.delta.GraphDelta`
+between them, compute the sparse entry delta of the system matrix
+``A = I - d M`` directly — without composing either full matrix — so cached
+LU factors can be Bennett-refreshed instead of re-factorized.  Degree
+renormalization means a changed node does not just edit the changed
+positions: the node's whole normalized column (or incident entries, for the
+symmetric kinds) is replaced, which is why the builders work from
+:func:`~repro.graphs.delta.touched_sources` / touched nodes rather than the
+raw edge delta.
 """
 
 from __future__ import annotations
 
 import enum
 import math
-from typing import Dict
+from typing import Dict, Optional, Set, Tuple
 
 import numpy as np
 
-from repro.errors import MeasureError
+from repro.errors import DimensionError, MeasureError
+from repro.graphs.delta import GraphDelta, touched_sources
 from repro.graphs.snapshot import GraphSnapshot
 from repro.sparse.csr import SparseMatrix
+from repro.sparse.types import Entries
 
 #: Default damping factor used across measures (the PageRank convention).
 DEFAULT_DAMPING = 0.85
@@ -200,4 +213,158 @@ def measure_matrix(
         return identity.subtract(walk.scale(damping))
     if kind is MatrixKind.LAPLACIAN:
         return identity.add(laplacian_matrix(snapshot))
+    raise MeasureError(f"unsupported matrix kind: {kind!r}")
+
+
+# ---------------------------------------------------------------------- #
+# System deltas: the entry change of A = I - d·M induced by a graph delta
+# ---------------------------------------------------------------------- #
+def _random_walk_system_delta(
+    before: GraphSnapshot, after: GraphSnapshot, damping: float, delta: GraphDelta
+) -> Entries:
+    """Delta of ``I - d W`` (column-normalized): touched columns are replaced.
+
+    ``W[v, u] = 1 / out_degree(u)``, so any change to ``u``'s out-edge set
+    rescales *every* stored entry of column ``u`` — the whole column is
+    diffed, not just the changed positions.
+    """
+    sources = set(touched_sources(delta))
+    if not sources:
+        return {}
+    old_succ: Dict[int, Set[int]] = {u: set() for u in sources}
+    new_succ: Dict[int, Set[int]] = {u: set() for u in sources}
+    for u, v in before.edges:
+        if u in sources:
+            old_succ[u].add(v)
+    for u, v in after.edges:
+        if u in sources:
+            new_succ[u].add(v)
+    entries: Entries = {}
+    for u in sources:
+        old = old_succ[u]
+        new = new_succ[u]
+        # Same float expressions as column_normalized_matrix + scale/subtract,
+        # so the localized delta matches a full-matrix diff bitwise.
+        old_value = -((1.0 / len(old)) * damping) if old else 0.0
+        new_value = -((1.0 / len(new)) * damping) if new else 0.0
+        for v in old | new:
+            change = (new_value if v in new else 0.0) - (old_value if v in old else 0.0)
+            if change != 0.0:
+                entries[(v, u)] = change
+    return entries
+
+
+def _undirected_edges(snapshot: GraphSnapshot) -> Set[Tuple[int, int]]:
+    return {(min(u, v), max(u, v)) for u, v in snapshot.edges}
+
+
+def _undirected_degrees(undirected: Set[Tuple[int, int]]) -> Dict[int, int]:
+    degrees: Dict[int, int] = {}
+    for u, v in undirected:
+        degrees[u] = degrees.get(u, 0) + 1
+        degrees[v] = degrees.get(v, 0) + 1
+    return degrees
+
+
+def _symmetric_walk_system_delta(
+    before: GraphSnapshot, after: GraphSnapshot, damping: float, delta: GraphDelta
+) -> Entries:
+    """Delta of ``I - d S``: entries incident to degree-touched nodes are rediffed."""
+    und_old = _undirected_edges(before)
+    und_new = _undirected_edges(after)
+    touched = {node for edge in und_old ^ und_new for node in edge}
+    if not touched:
+        return {}
+    deg_old = _undirected_degrees(und_old)
+    deg_new = _undirected_degrees(und_new)
+    entries: Entries = {}
+    for u, v in und_old | und_new:
+        if u not in touched and v not in touched:
+            continue
+        old_value = (
+            -((1.0 / math.sqrt(deg_old[u] * deg_old[v])) * damping)
+            if (u, v) in und_old else 0.0
+        )
+        new_value = (
+            -((1.0 / math.sqrt(deg_new[u] * deg_new[v])) * damping)
+            if (u, v) in und_new else 0.0
+        )
+        change = new_value - old_value
+        if change != 0.0:
+            entries[(u, v)] = change
+            entries[(v, u)] = change
+    return entries
+
+
+def _laplacian_system_delta(
+    before: GraphSnapshot, after: GraphSnapshot, delta: GraphDelta
+) -> Entries:
+    """Delta of ``I + L``: degree diagonal of touched nodes plus ∓1 off-diagonals."""
+    und_old = _undirected_edges(before)
+    und_new = _undirected_edges(after)
+    changed = und_old ^ und_new
+    if not changed:
+        return {}
+    deg_old = _undirected_degrees(und_old)
+    deg_new = _undirected_degrees(und_new)
+    entries: Entries = {}
+    for node in {endpoint for edge in changed for endpoint in edge}:
+        change = (1.0 + float(deg_new.get(node, 0))) - (1.0 + float(deg_old.get(node, 0)))
+        if change != 0.0:
+            entries[(node, node)] = change
+    for u, v in changed:
+        change = -1.0 if (u, v) in und_new else 1.0
+        entries[(u, v)] = change
+        entries[(v, u)] = change
+    return entries
+
+
+def system_delta(
+    before: GraphSnapshot,
+    after: GraphSnapshot,
+    kind: MatrixKind = MatrixKind.RANDOM_WALK,
+    damping: float = DEFAULT_DAMPING,
+    delta: Optional[GraphDelta] = None,
+) -> Entries:
+    """Return the sparse entry delta ``measure_matrix(after) - measure_matrix(before)``.
+
+    For the locally-normalized kinds (``RANDOM_WALK``, ``SYMMETRIC_WALK``,
+    ``LAPLACIAN``) the delta is computed from the touched nodes alone, so the
+    cost scales with the graph change rather than the graph.  The SALSA kinds
+    compose two-hop walk products, where one changed edge perturbs entries
+    two steps away; they fall back to diffing the two composed matrices
+    (still far cheaper than a factorization).
+
+    Parameters
+    ----------
+    before, after:
+        Two snapshots over the same node universe.
+    kind:
+        Which system-matrix composition the delta is for.
+    damping:
+        Damping factor ``d`` of the composition (ignored for ``LAPLACIAN``).
+    delta:
+        The :class:`~repro.graphs.delta.GraphDelta` between the snapshots,
+        when the caller already has it; computed here otherwise.
+    """
+    if before.n != after.n:
+        raise DimensionError(
+            f"snapshots have different node counts: {before.n} vs {after.n}"
+        )
+    if kind is not MatrixKind.LAPLACIAN and not 0.0 < damping < 1.0:
+        raise MeasureError(f"damping factor must lie in (0, 1), got {damping}")
+    if delta is None:
+        delta = GraphDelta.between(before, after)
+    if delta.is_empty():
+        return {}
+    if kind is MatrixKind.RANDOM_WALK:
+        return _random_walk_system_delta(before, after, damping, delta)
+    if kind is MatrixKind.SYMMETRIC_WALK:
+        return _symmetric_walk_system_delta(before, after, damping, delta)
+    if kind is MatrixKind.LAPLACIAN:
+        return _laplacian_system_delta(before, after, delta)
+    if kind in (MatrixKind.SALSA_AUTHORITY, MatrixKind.SALSA_HUB):
+        return measure_matrix(before, kind=kind, damping=damping).delta_entries(
+            measure_matrix(after, kind=kind, damping=damping)
+        )
     raise MeasureError(f"unsupported matrix kind: {kind!r}")

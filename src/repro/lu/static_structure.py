@@ -247,6 +247,25 @@ class StaticLUFactors:
         indices.update((i, j) for i, j, _ in self.u_items())
         return SparsityPattern(self._n, indices)
 
+    def copy(self) -> "StaticLUFactors":
+        """Return a value copy sharing the (immutable-after-init) structure.
+
+        The slot index lists and slot dictionaries never change after
+        construction — the whole point of the static structure — so they are
+        shared between copies; only the value storage is duplicated.
+        """
+        clone = StaticLUFactors.__new__(StaticLUFactors)
+        clone._n = self._n
+        clone._pattern = self._pattern
+        clone._l_col_rows = self._l_col_rows
+        clone._l_col_values = [list(values) for values in self._l_col_values]
+        clone._l_col_slot = self._l_col_slot
+        clone._u_row_cols = self._u_row_cols
+        clone._u_row_values = [list(values) for values in self._u_row_values]
+        clone._u_row_slot = self._u_row_slot
+        clone._diagonal = self._diagonal.copy()
+        return clone
+
     # ------------------------------------------------------------------ #
     # Dense export / reconstruction
     # ------------------------------------------------------------------ #

@@ -96,6 +96,19 @@ class MeasureSeries:
         """Per-group factor-cache statistics of the series planner."""
         return self._solver.planner_cache_info()
 
+    def register_evolution(
+        self, new_snapshot, from_index: Optional[int] = None
+    ):
+        """Register an evolved head snapshot for delta refresh.
+
+        When the graph evolves past the decomposed sequence, register the new
+        snapshot here (by default as an evolution of the *last* snapshot):
+        the first batch that queries it Bennett-refreshes the seeded factors
+        of that index instead of cold-factorizing.  Delegates to
+        :meth:`repro.core.solver.EMSSolver.register_evolution`.
+        """
+        return self._solver.register_evolution(new_snapshot, from_index=from_index)
+
     def _snapshot_batch(self, per_snapshot_queries: int, add) -> np.ndarray:
         """Run one batch with ``per_snapshot_queries`` queries per snapshot.
 

@@ -27,13 +27,17 @@ from __future__ import annotations
 
 import dataclasses
 from collections import OrderedDict
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Hashable, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.errors import MeasureError
+from repro.errors import MeasureError, PatternError, SingularMatrixError
 from repro.exec.executors import Executor, resolve_executor
-from repro.exec.plan import plan_factor_batch
+from repro.exec.plan import plan_factor_batch, plan_refresh_batch
+from repro.graphs.delta import GraphDelta
+from repro.graphs.matrixkind import system_delta
+from repro.graphs.snapshot import GraphSnapshot
+from repro.lu.bennett import bennett_update
 from repro.query.batch import QueryBatch
 from repro.query.spec import (
     FactorizedSystem,
@@ -42,6 +46,25 @@ from repro.query.spec import (
     get_spec,
     system_key,
 )
+from repro.sparse.csr import SparseMatrix
+from repro.sparse.types import Entries
+
+#: Default ``refresh_threshold``: a system-matrix delta touching more than
+#: this fraction of the cached matrix's non-zeros falls back to a cold
+#: factorization — beyond it the rank-1 sweeps stop being cheaper than a
+#: fresh Markowitz + Crout pass (and a large delta usually means the old
+#: ordering misfits the new matrix anyway).
+DEFAULT_REFRESH_THRESHOLD = 0.25
+
+
+def _apply_entry_delta(matrix: SparseMatrix, delta: Entries) -> SparseMatrix:
+    """Return ``matrix + ΔA`` for a sparse entry delta in original coordinates."""
+    if not delta:
+        return matrix
+    change = SparseMatrix.from_triples(
+        matrix.n, ((i, j, value) for (i, j), value in delta.items())
+    )
+    return matrix.add(change)
 
 
 class FactorCache:
@@ -61,23 +84,44 @@ class FactorCache:
         required for the bitwise guarantees of seeded sequence planners: an
         evicted entry is transparently re-factorized from scratch, which is
         still an exact solve but not necessarily bit-identical to the
-        decomposition-seeded factors it replaced.
+        decomposition-seeded factors it replaced.  :meth:`seed` refuses to
+        overflow the bound (see its docstring) for the same reason.
+    refresh_threshold:
+        Delta-refresh feasibility gate, as a fraction of the cached system
+        matrix's non-zeros: a system delta with more entries than
+        ``refresh_threshold * nnz`` is rejected (counted in
+        ``refresh_fallbacks``) and the caller cold-factorizes instead.
     """
 
-    def __init__(self, max_systems: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        max_systems: Optional[int] = None,
+        refresh_threshold: float = DEFAULT_REFRESH_THRESHOLD,
+    ) -> None:
         if max_systems is not None and max_systems < 1:
             raise MeasureError(f"max_systems must be positive, got {max_systems}")
+        if refresh_threshold < 0.0:
+            raise MeasureError(
+                f"refresh_threshold must be non-negative, got {refresh_threshold}"
+            )
         self._systems: "OrderedDict[SystemKey, FactorizedSystem]" = OrderedDict()
         self._max_systems = max_systems
+        self._refresh_threshold = float(refresh_threshold)
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._refreshes = 0
+        self._refresh_fallbacks = 0
 
     def __len__(self) -> int:
         return len(self._systems)
 
     def __contains__(self, key: SystemKey) -> bool:
         return key in self._systems
+
+    def keys(self) -> Iterator[SystemKey]:
+        """Iterate over the cached system keys (snapshot → key index scans)."""
+        return iter(tuple(self._systems))
 
     def lookup(self, key: SystemKey) -> Optional[FactorizedSystem]:
         """Return the cached system for ``key`` and count the hit or miss."""
@@ -102,19 +146,132 @@ class FactorCache:
                 self._evictions += 1
 
     def seed(self, key: SystemKey, system: FactorizedSystem) -> None:
-        """Install a system without touching the counters (pre-population)."""
+        """Install a system without touching the counters (pre-population).
+
+        Seeding must never evict: a seeded planner's guarantee is that the
+        whole sequence answers from exactly the decomposition-provided
+        factors, and a silent LRU eviction of a seeded entry would break it
+        without any signal (the evicted index would be transparently — but
+        approximately-bitwise-differently — re-factorized).  Seeding a key
+        that would overflow ``max_systems`` therefore raises
+        :class:`~repro.errors.MeasureError`; raise the bound or use an
+        unbounded cache for seeded planners.
+        """
+        if (
+            self._max_systems is not None
+            and key not in self._systems
+            and len(self._systems) >= self._max_systems
+        ):
+            raise MeasureError(
+                f"seeding would overflow max_systems={self._max_systems} "
+                f"(cache already holds {len(self._systems)} systems); seeded "
+                "entries must never be evicted — raise max_systems to at "
+                "least the number of seeded systems or use an unbounded cache"
+            )
         self._install(key, system)
 
     def store(self, key: SystemKey, system: FactorizedSystem) -> None:
         """Install a freshly factorized system (after a counted miss)."""
         self._install(key, system)
 
+    # ------------------------------------------------------------------ #
+    # Delta refresh
+    # ------------------------------------------------------------------ #
+    def _refresh_feasible(
+        self, cached: Optional[FactorizedSystem], delta: Entries
+    ) -> bool:
+        """Gate a refresh: the parent must be cached and the delta small."""
+        if cached is None:
+            return False
+        return len(delta) <= self._refresh_threshold * max(cached.matrix.nnz, 1)
+
+    def prepare_refresh(
+        self, old_key: SystemKey, delta: Entries
+    ) -> Optional[FactorizedSystem]:
+        """Feasibility-check a refresh and return a mutable clone of the parent.
+
+        ``delta`` is the system-matrix entry delta in *original* (unordered)
+        coordinates; only its size matters here.  Returns a clone whose
+        factor container may be Bennett-updated in place (e.g. inside an
+        executor work unit), or ``None`` — counting a ``refresh_fallbacks``
+        — when the parent is missing or the delta exceeds the threshold.
+        Hit/miss counters are untouched either way.
+        """
+        cached = self._systems.get(old_key)
+        if not self._refresh_feasible(cached, delta):
+            self._refresh_fallbacks += 1
+            return None
+        return cached.clone()
+
+    def commit_refresh(self, new_key: SystemKey, system: FactorizedSystem) -> None:
+        """Install a successfully refreshed system (counted in ``refreshes``)."""
+        self._install(new_key, system)
+        self._refreshes += 1
+
+    def refresh_failed(self) -> None:
+        """Record that a prepared refresh broke down numerically."""
+        self._refresh_fallbacks += 1
+
+    def refresh(
+        self,
+        old_key: SystemKey,
+        new_key: SystemKey,
+        delta: Entries,
+        new_matrix: Optional[SparseMatrix] = None,
+        steal: bool = False,
+    ) -> Optional[FactorizedSystem]:
+        """Derive the system for ``new_key`` from ``old_key`` by Bennett update.
+
+        The paper's INC insight applied to the serving cache: instead of a
+        cold factorization for a snapshot that evolved from a cached one by a
+        small delta, clone (or, with ``steal=True``, remove and reuse) the
+        cached :class:`FactorizedSystem`, apply the sparse system-matrix
+        ``delta`` (original coordinates; mapped through the stored ordering
+        here) as rank-1 Bennett sweeps, and install the result under
+        ``new_key``.
+
+        Returns the refreshed system, or ``None`` with ``refresh_fallbacks``
+        incremented when the parent is missing, the delta exceeds
+        ``refresh_threshold`` as a fraction of the cached matrix's non-zeros,
+        the update would fill outside a static factor pattern
+        (:class:`~repro.errors.PatternError`), or a pivot breaks down — the
+        caller then falls back to a full factorization.  Every failure mode
+        leaves the parent entry intact (``steal`` only takes effect on
+        success).  Hit/miss counters are never touched.  ``new_matrix``
+        overrides the stored matrix of the result (defaults to
+        ``old matrix + delta``).
+        """
+        cached = self._systems.get(old_key)
+        if not self._refresh_feasible(cached, delta):
+            self._refresh_fallbacks += 1
+            return None
+        # Always sweep on a clone — even when stealing — so a mid-sweep
+        # breakdown leaves the parent entry intact and still answering; the
+        # old key is dropped only once the refresh has succeeded.
+        working = cached.clone()
+        ordering = working.ordering
+        mapped = ordering.map_entries(delta) if ordering is not None else dict(delta)
+        try:
+            bennett_update(working.factors, mapped)
+        except (PatternError, SingularMatrixError):
+            self._refresh_fallbacks += 1
+            return None
+        if new_matrix is None:
+            new_matrix = _apply_entry_delta(cached.matrix, delta)
+        system = FactorizedSystem(new_matrix, ordering, working.factors)
+        if steal:
+            self._systems.pop(old_key, None)
+        self.commit_refresh(new_key, system)
+        return system
+
     def cache_info(self) -> Dict[str, int]:
-        """Return hit/miss/eviction/size counters (the factor-reuse statistics)."""
+        """Return hit/miss/eviction/refresh/size counters (the reuse statistics)."""
         return {
             "hits": self._hits,
             "misses": self._misses,
             "evictions": self._evictions,
+            "refreshes": self._refreshes,
+            "refresh_fallbacks": self._refresh_fallbacks,
             "size": len(self._systems),
         }
 
@@ -124,6 +281,8 @@ class FactorCache:
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._refreshes = 0
+        self._refresh_fallbacks = 0
 
 
 @dataclasses.dataclass(frozen=True)
@@ -171,8 +330,11 @@ class PlannerStats:
     """What one :meth:`QueryPlanner.execute` run cost.
 
     ``factorizations`` is the acceptance-criteria counter: it equals the
-    number of planned groups whose key was not already in the factor cache —
-    at most one factorization per distinct system matrix, ever.
+    number of planned groups whose key was not already in the factor cache
+    *and* could not be delta-refreshed from a cached parent — at most one
+    factorization per distinct system matrix, ever.  ``refreshes`` counts
+    miss groups answered by Bennett-updating a cached parent's factors
+    instead of factorizing cold.
     """
 
     queries: int
@@ -180,6 +342,7 @@ class PlannerStats:
     factorizations: int
     cache_hits: int
     direct_answers: int
+    refreshes: int = 0
 
 
 @dataclasses.dataclass
@@ -213,15 +376,29 @@ class QueryPlanner:
     cache:
         An existing :class:`FactorCache` to share or pre-seed; a fresh one is
         created when omitted.
+    auto_refresh:
+        When true, a cache-miss snapshot with no registered lineage scans the
+        cached keys for a same-``(kind, damping)`` snapshot of the same size
+        and delta-refreshes from the nearest one (smallest
+        :class:`~repro.graphs.delta.GraphDelta`).  Off by default: refreshed
+        factors answer within numerical tolerance but not bitwise-identically
+        to a cold factorization, so refresh must be opted into — either
+        through this flag or per-evolution via :meth:`register_evolution`.
     """
 
     def __init__(
         self,
         executor: Union[Executor, int, None] = None,
         cache: Optional[FactorCache] = None,
+        auto_refresh: bool = False,
     ) -> None:
         self._executor = executor
         self._cache = cache if cache is not None else FactorCache()
+        self._auto_refresh = bool(auto_refresh)
+        #: new system identity -> (old system identity, old snapshot, new snapshot)
+        self._lineage: Dict[
+            Hashable, Tuple[Hashable, GraphSnapshot, GraphSnapshot]
+        ] = {}
 
     @property
     def cache(self) -> FactorCache:
@@ -229,8 +406,42 @@ class QueryPlanner:
         return self._cache
 
     def cache_info(self) -> Dict[str, int]:
-        """Lifetime hit/miss/size counters of the factor cache."""
+        """Lifetime hit/miss/refresh/size counters of the factor cache."""
         return self._cache.cache_info()
+
+    def register_evolution(
+        self,
+        old: GraphSnapshot,
+        new: GraphSnapshot,
+        old_system: Optional[Hashable] = None,
+        new_system: Optional[Hashable] = None,
+    ) -> None:
+        """Declare that snapshot ``new`` evolved from snapshot ``old``.
+
+        A later cache miss for ``new`` (any kind-based system key) will try
+        to Bennett-refresh the system cached for ``old`` instead of
+        factorizing from scratch.  ``old_system`` / ``new_system`` override
+        the :class:`~repro.query.spec.SystemKey` identities when they differ
+        from the snapshots themselves — e.g. an
+        :class:`~repro.core.solver.EMSSolver` index token for factors seeded
+        from a sequence decomposition.  Registering a lineage is the per-pair
+        opt-in to refresh (answers match a cold factorization within
+        numerical tolerance, not bitwise).
+        """
+        if not isinstance(old, GraphSnapshot) or not isinstance(new, GraphSnapshot):
+            raise MeasureError(
+                "register_evolution takes two GraphSnapshots (the delta is "
+                "computed from their edge sets)"
+            )
+        if old.n != new.n:
+            raise MeasureError(
+                f"evolution must preserve the node count: {old.n} vs {new.n}"
+            )
+        self._lineage[new_system if new_system is not None else new] = (
+            old_system if old_system is not None else old,
+            old,
+            new,
+        )
 
     # ------------------------------------------------------------------ #
     # Planning
@@ -273,7 +484,16 @@ class QueryPlanner:
     # Execution
     # ------------------------------------------------------------------ #
     def execute(self, plan: QueryPlan) -> BatchResult:
-        """Run a plan: factorize miss groups once, batch-solve every group."""
+        """Run a plan: refresh or factorize miss groups once, batch-solve all.
+
+        Miss groups first consult the snapshot lineage (explicit
+        :meth:`register_evolution` entries, or the cached-snapshot index when
+        ``auto_refresh`` is on): a miss whose snapshot evolved from a cached
+        system by a small delta is answered by a Bennett refresh of that
+        system's factors; everything else — no lineage, oversized delta,
+        pattern violation, pivot breakdown — cold-factorizes exactly as
+        before.
+        """
         systems: Dict[SystemKey, FactorizedSystem] = {}
         misses: List[PlannedGroup] = []
         for group in plan.groups:
@@ -282,9 +502,12 @@ class QueryPlanner:
                 misses.append(group)
             else:
                 systems[group.key] = cached
-        # Use the freshly factorized systems directly: a size-bounded cache
-        # may already have evicted early ones by the time the batch solves.
-        systems.update(self._factorize(misses))
+        refreshed, cold = self._refresh_misses(misses)
+        # Use the refreshed / freshly factorized systems directly: a
+        # size-bounded cache may already have evicted early ones by the time
+        # the batch solves.
+        systems.update(refreshed)
+        systems.update(self._factorize(cold))
         results: List[Optional[np.ndarray]] = [None] * len(plan.batch)
         for group in plan.groups:
             system = systems[group.key]
@@ -310,15 +533,149 @@ class QueryPlanner:
         stats = PlannerStats(
             queries=len(plan.batch),
             groups=len(plan.groups),
-            factorizations=len(misses),
+            factorizations=len(cold),
             cache_hits=len(plan.groups) - len(misses),
             direct_answers=len(plan.direct),
+            refreshes=len(refreshed),
         )
         return BatchResult(results=list(results), stats=stats)
 
     def run(self, batch: Union[QueryBatch, Sequence[Query]]) -> BatchResult:
         """Plan and execute a batch in one call."""
         return self.execute(self.plan(batch))
+
+    # ------------------------------------------------------------------ #
+    # Delta-refresh fan-out
+    # ------------------------------------------------------------------ #
+    def _refresh_parent(
+        self, key: SystemKey
+    ) -> Optional[Tuple[SystemKey, GraphSnapshot, GraphSnapshot, GraphDelta]]:
+        """Find a cached parent system to delta-refresh ``key`` from.
+
+        Custom-matrix keys never refresh (their composition is opaque to the
+        system-delta layer).  Explicit lineage wins; with ``auto_refresh`` a
+        snapshot-keyed miss falls back to scanning the cached keys for the
+        nearest same-shape snapshot.
+        """
+        if key.matrix_builder is not None:
+            return None
+        lineage = self._lineage.get(key.system)
+        if lineage is not None:
+            old_system, old_snapshot, new_snapshot = lineage
+            old_key = dataclasses.replace(key, system=old_system)
+            if self._cache.peek(old_key) is None:
+                return None
+            return (
+                old_key,
+                old_snapshot,
+                new_snapshot,
+                GraphDelta.between(old_snapshot, new_snapshot),
+            )
+        if not self._auto_refresh or not isinstance(key.system, GraphSnapshot):
+            return None
+        new_snapshot = key.system
+        best = None
+        for candidate in self._cache.keys():
+            if (
+                candidate.kind is key.kind
+                and candidate.damping == key.damping
+                and candidate.matrix_params == key.matrix_params
+                and candidate.matrix_builder is None
+                and isinstance(candidate.system, GraphSnapshot)
+                and candidate.system.n == new_snapshot.n
+            ):
+                delta = GraphDelta.between(candidate.system, new_snapshot)
+                if best is None or delta.size < best[3].size:
+                    best = (candidate, candidate.system, new_snapshot, delta)
+        return best
+
+    def _has_lineage(self, key: SystemKey) -> bool:
+        """Whether a refreshable lineage was registered for this key's system."""
+        return key.matrix_builder is None and key.system in self._lineage
+
+    def _refresh_misses(
+        self, groups: Sequence[PlannedGroup]
+    ) -> Tuple[Dict[SystemKey, FactorizedSystem], List[PlannedGroup]]:
+        """Bennett-refresh the miss groups that have a cached lineage parent.
+
+        Returns the refreshed systems (committed to the cache under their new
+        keys) and the groups still needing a cold factorization — including
+        any whose prepared refresh broke down numerically.  Refresh units
+        dispatch through the same executors as factor units, so independent
+        refreshes fan out onto a worker pool.
+
+        Refreshes run in waves: a group whose registered parent is not cached
+        *yet* may be the next link of a lineage chain whose earlier link is
+        refreshing in this same batch, so it is deferred until a wave commits
+        nothing new.  A group whose lineage parent never materializes counts
+        a ``refresh_fallbacks`` (matching :meth:`FactorCache.refresh` on a
+        missing parent) and factorizes cold.
+        """
+        refreshed: Dict[SystemKey, FactorizedSystem] = {}
+        cold: List[PlannedGroup] = []
+        pending = list(groups)
+        while pending:
+            jobs: List[Tuple[PlannedGroup, SparseMatrix]] = []
+            payloads = []
+            deferred: List[PlannedGroup] = []
+            for group in pending:
+                parent = self._refresh_parent(group.key)
+                if parent is None:
+                    if self._has_lineage(group.key):
+                        deferred.append(group)
+                    else:
+                        cold.append(group)
+                    continue
+                old_key, old_snapshot, new_snapshot, graph_delta = parent
+                entries = system_delta(
+                    old_snapshot,
+                    new_snapshot,
+                    kind=group.key.kind,
+                    damping=group.key.damping,
+                    delta=graph_delta,
+                )
+                prepared = self._cache.prepare_refresh(old_key, entries)
+                if prepared is None:
+                    cold.append(group)
+                    continue
+                ordering = prepared.ordering
+                mapped = (
+                    ordering.map_entries(entries)
+                    if ordering is not None
+                    else dict(entries)
+                )
+                query = group.queries[0]
+                new_matrix = get_spec(query.measure).system_matrix(
+                    query.snapshot, query.damping, query.param_dict
+                )
+                jobs.append((group, new_matrix))
+                payloads.append((new_matrix, prepared.factors, ordering, mapped))
+            committed = 0
+            if jobs:
+                exec_plan = plan_refresh_batch(payloads)
+                outcome = resolve_executor(self._executor).execute(exec_plan)
+                for (group, new_matrix), decomposition in zip(
+                    jobs, outcome.decompositions
+                ):
+                    if decomposition.factors is None:
+                        self._cache.refresh_failed()
+                        cold.append(group)
+                        continue
+                    system = FactorizedSystem(
+                        new_matrix, decomposition.ordering, decomposition.factors
+                    )
+                    self._cache.commit_refresh(group.key, system)
+                    refreshed[group.key] = system
+                    committed += 1
+            if not deferred:
+                break
+            if committed == 0:
+                for group in deferred:
+                    self._cache.refresh_failed()
+                    cold.append(group)
+                break
+            pending = deferred
+        return refreshed, cold
 
     # ------------------------------------------------------------------ #
     # Factorization fan-out

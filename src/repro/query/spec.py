@@ -317,6 +317,15 @@ class FactorizedSystem:
         """The LU factor container of the (reordered) matrix."""
         return self._factors
 
+    def clone(self) -> "FactorizedSystem":
+        """Return a copy whose factor container can be mutated independently.
+
+        The matrix and ordering are shared (both immutable); the factors are
+        value-copied — this is what a Bennett refresh updates in place while
+        the cached original keeps answering queries for its own key.
+        """
+        return FactorizedSystem(self._matrix, self._ordering, self._factors.copy())
+
     def solve(self, b) -> np.ndarray:
         """Solve ``A x = b`` using the cached factors."""
         return solve_reordered_system(self._factors, self._ordering, b)

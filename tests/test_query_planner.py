@@ -201,7 +201,10 @@ class TestGroupingAndCache:
         outcome = planner.execute(plan)
         assert outcome.stats.factorizations == 5
         assert outcome.stats.cache_hits == 0
-        assert planner.cache_info() == {"hits": 0, "misses": 5, "evictions": 0, "size": 5}
+        assert planner.cache_info() == {
+            "hits": 0, "misses": 5, "evictions": 0,
+            "refreshes": 0, "refresh_fallbacks": 0, "size": 5,
+        }
         # Second run: pure cache hits, zero factorizations.
         again = planner.run(batch)
         assert again.stats.factorizations == 0
@@ -225,7 +228,10 @@ class TestGroupingAndCache:
         second = QueryPlanner(cache=cache).run(QueryBatch().add_pagerank(tiny_graph))
         assert first.stats.factorizations == 1
         assert second.stats.factorizations == 0
-        assert cache.cache_info() == {"hits": 1, "misses": 1, "evictions": 0, "size": 1}
+        assert cache.cache_info() == {
+            "hits": 1, "misses": 1, "evictions": 0,
+            "refreshes": 0, "refresh_fallbacks": 0, "size": 1,
+        }
 
     def test_empty_batch(self):
         outcome = QueryPlanner().run(QueryBatch())
