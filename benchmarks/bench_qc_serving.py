@@ -1,0 +1,176 @@
+"""QC-aware approximate serving vs exact serving on an evolving chain.
+
+The paper's quality trade applied online: a long-lived planner serves query
+batches against a graph that keeps evolving by small edge deltas.  Exact
+serving cold-factorizes every new snapshot.  Under a
+:class:`~repro.policy.qc.QCPolicy` the planner may instead answer a new
+snapshot **outright from a cached similar snapshot's factors** — no
+factorization, no refresh — whenever the similarity >= alpha and the
+certified loss estimate (:func:`repro.core.quality.reuse_loss_bound`) stays
+within the bound; drifting past the gates triggers a fresh cold anchor.
+
+The benchmark drives both planners over the identical snapshot chain and
+query batches and verifies the whole quality contract end to end:
+
+* QC serving performs **strictly fewer factorizations** than exact serving;
+* every approximate answer carries a reported loss estimate <= the
+  configured bound;
+* the *actual* relative L1 deviation of every approximate answer from the
+  exact answer stays within its reported estimate (the bound is certified,
+  not aspirational).
+
+Runs standalone in a few seconds::
+
+    PYTHONPATH=src python benchmarks/bench_qc_serving.py
+    PYTHONPATH=src python benchmarks/bench_qc_serving.py --nodes 150 --snapshots 16
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.graphs.snapshot import GraphSnapshot
+from repro.policy import QCPolicy
+from repro.query import BatchResult, QueryBatch, QueryPlanner
+
+#: Serving-time speedup floor of QC over exact serving (steady state).
+SPEEDUP_FLOOR = 1.2
+
+
+def build_chain(
+    nodes: int, snapshots: int, added_per_step: int, removed_per_step: int, seed: int
+) -> List[GraphSnapshot]:
+    """Return an evolving snapshot chain with small per-step edge deltas."""
+    rng = np.random.default_rng(seed)
+    edges = set()
+    while len(edges) < nodes * 3:
+        u, v = rng.integers(0, nodes, size=2)
+        if u != v:
+            edges.add((int(u), int(v)))
+    current = GraphSnapshot(nodes, edges)
+    chain = [current]
+    for _ in range(snapshots - 1):
+        existing = sorted(current.edges)
+        removed = {
+            existing[int(rng.integers(0, len(existing)))]
+            for _ in range(removed_per_step)
+        }
+        added = set()
+        while len(added) < added_per_step:
+            u, v = rng.integers(0, nodes, size=2)
+            if u != v and (int(u), int(v)) not in current.edges:
+                added.add((int(u), int(v)))
+        current = current.with_edges(added=added, removed=removed)
+        chain.append(current)
+    return chain
+
+
+def serve(
+    chain: List[GraphSnapshot], planner: QueryPlanner
+) -> Tuple[List[float], List[BatchResult]]:
+    """Answer one batch per snapshot; return per-snapshot times and results."""
+    times: List[float] = []
+    outcomes: List[BatchResult] = []
+    for snapshot in chain:
+        batch = (
+            QueryBatch()
+            .add_pagerank(snapshot)
+            .add_rwr(snapshot, 1)
+            .add_rwr(snapshot, 2)
+        )
+        started = time.perf_counter()
+        outcomes.append(planner.run(batch))
+        times.append(time.perf_counter() - started)
+    return times, outcomes
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nodes", type=int, default=300, help="graph size")
+    parser.add_argument("--snapshots", type=int, default=32, help="chain length")
+    parser.add_argument("--added", type=int, default=3, help="edges added per step")
+    parser.add_argument("--removed", type=int, default=2, help="edges removed per step")
+    parser.add_argument("--alpha", type=float, default=0.9,
+                        help="similarity floor of the QC policy")
+    parser.add_argument("--loss-bound", type=float, default=8.0,
+                        help="quality-loss ceiling of the QC policy")
+    parser.add_argument("--seed", type=int, default=42, help="chain seed")
+    args = parser.parse_args()
+
+    chain = build_chain(args.nodes, args.snapshots, args.added, args.removed, args.seed)
+
+    exact_planner = QueryPlanner()
+    exact_times, exact_outcomes = serve(chain, exact_planner)
+
+    policy = QCPolicy(alpha=args.alpha, loss_bound=args.loss_bound)
+    qc_planner = QueryPlanner(policy=policy)
+    qc_times, qc_outcomes = serve(chain, qc_planner)
+
+    exact_factorizations = sum(o.stats.factorizations for o in exact_outcomes)
+    qc_factorizations = sum(o.stats.factorizations for o in qc_outcomes)
+    qc_reuses = sum(o.stats.qc_reuses for o in qc_outcomes)
+
+    # Quality contract: every approximation reports an estimate within the
+    # configured bound, and the actual deviation stays within the estimate.
+    worst_estimate = 0.0
+    worst_actual = 0.0
+    for qc_outcome, exact_outcome in zip(qc_outcomes, exact_outcomes):
+        for record in qc_outcome.approximations:
+            if record.loss_estimate > args.loss_bound:
+                raise SystemExit(
+                    f"FAIL: reported loss {record.loss_estimate:.3f} exceeds "
+                    f"the configured bound {args.loss_bound:.3f}"
+                )
+            worst_estimate = max(worst_estimate, record.loss_estimate)
+            for position in record.positions:
+                truth = exact_outcome[position]
+                deviation = float(
+                    np.sum(np.abs(qc_outcome[position] - truth))
+                    / np.sum(np.abs(truth))
+                )
+                if deviation > record.loss_estimate:
+                    raise SystemExit(
+                        f"FAIL: actual deviation {deviation:.3e} exceeds the "
+                        f"certified estimate {record.loss_estimate:.3e}"
+                    )
+                worst_actual = max(worst_actual, deviation)
+
+    if qc_factorizations >= exact_factorizations:
+        raise SystemExit(
+            f"FAIL: QC serving factorized {qc_factorizations}x, exact "
+            f"{exact_factorizations}x — no reuse happened"
+        )
+
+    # Snapshot 0 is a cold start for both planners; steady state is the rest.
+    exact_steady = sum(exact_times[1:])
+    qc_steady = sum(qc_times[1:])
+    speedup = exact_steady / qc_steady
+
+    print(f"evolving serving workload: {args.snapshots} snapshots x "
+          f"(+{args.added}/-{args.removed} edges), n={args.nodes}, "
+          f"3 queries per snapshot")
+    print(f"QCPolicy(alpha={args.alpha}, loss_bound={args.loss_bound})")
+    print(f"exact serving (steady)      : {exact_steady * 1e3:9.2f} ms "
+          f"({exact_factorizations} factorizations)")
+    print(f"QC serving (steady)         : {qc_steady * 1e3:9.2f} ms "
+          f"({qc_factorizations} factorizations, {qc_reuses} QC reuses)")
+    print(f"speedup                     : {speedup:9.2f}x   "
+          f"(floor: {SPEEDUP_FLOOR}x)")
+    print(f"worst reported loss estimate: {worst_estimate:.4f}   "
+          f"(bound {args.loss_bound})")
+    print(f"worst actual rel-L1 deviation: {worst_actual:.2e}   "
+          f"(within every estimate)")
+    print(f"QC planner cache_info       : {qc_planner.cache_info()}")
+    if speedup < SPEEDUP_FLOOR:
+        raise SystemExit(
+            f"FAIL: speedup {speedup:.2f}x below the {SPEEDUP_FLOOR}x floor"
+        )
+    print("PASS")
+
+
+if __name__ == "__main__":
+    main()

@@ -24,12 +24,15 @@ from repro.graphs.egs import EvolvingGraphSequence
 from repro.graphs.ems import EvolvingMatrixSequence
 from repro.graphs.matrixkind import MatrixKind, system_delta
 from repro.graphs.snapshot import GraphSnapshot
+from repro.policy import ExactPolicy, QCPolicy, ReusePolicy
 from repro.query import (
+    ApproximationRecord,
     FactorCache,
     MeasureSpec,
     Query,
     QueryBatch,
     QueryPlanner,
+    ResultCache,
     registered_measures,
 )
 from repro.sparse.csr import SparseMatrix
@@ -50,6 +53,11 @@ __all__ = [
     "MatrixKind",
     "system_delta",
     "FactorCache",
+    "ResultCache",
+    "ApproximationRecord",
+    "ReusePolicy",
+    "ExactPolicy",
+    "QCPolicy",
     "EMSSolver",
     "available_algorithms",
     "SerialExecutor",

@@ -1,14 +1,22 @@
 """Drivers for the quality-constrained LUDEM-QC problem (paper Section 5).
 
 LUDEM-QC asks for orderings whose quality-loss never exceeds a user-supplied
-bound β.  Both cluster-based algorithms enforce it through their clustering
-step: the cluster is grown only while the shared ordering provably satisfies
-the constraint for every member.
+bound β.  The quality contract itself — which clusters may share an ordering,
+and at what proven loss — lives in the reuse-policy layer
+(:mod:`repro.policy`): each driver resolves the problem's β into a
+:class:`~repro.policy.qc.QCPolicy` (or takes an explicit policy) and
+delegates the β-clustering step to it, then runs the standard cluster
+decomposition machinery:
 
-* CINC uses β-clustering version of Algorithm 4 (check the first member's
+* CINC uses the β-clustering version of Algorithm 4 (check the first member's
   Markowitz ordering against each candidate).
-* CLUDE uses β-clustering version of Algorithm 5 (check the union ordering's
-  upper bound ``|s̃p(A_∪^{O_∪})|`` against every member's reference).
+* CLUDE uses the β-clustering version of Algorithm 5 (check the union
+  ordering's upper bound ``|s̃p(A_∪^{O_∪})|`` against every member's
+  reference).
+
+The drivers are deliberately thin: policy in, clusters out, decompose — the
+same policy object also gates the query planner's approximate serving, so
+offline and online quality control share one definition.
 """
 
 from __future__ import annotations
@@ -17,28 +25,47 @@ from typing import Optional, Union
 
 from repro.core.cinc import decompose_sequence_cinc
 from repro.core.clude import decompose_sequence_clude
-from repro.core.clustering import beta_clustering_cinc, beta_clustering_clude
 from repro.core.problem import LUDEMQCProblem
 from repro.core.quality import MarkowitzReference
 from repro.core.result import SequenceResult, Stopwatch
 from repro.exec.executors import Executor
+from repro.policy import QCPolicy, ReusePolicy
+
+
+def resolve_qc_policy(
+    policy: Optional[ReusePolicy], problem: LUDEMQCProblem
+) -> ReusePolicy:
+    """Return the reuse policy a QC driver should cluster under.
+
+    ``None`` resolves to a :class:`~repro.policy.qc.QCPolicy` whose loss
+    bound is the problem's ``quality_requirement`` (the historical
+    behaviour); an explicit policy is used as given, letting callers share
+    one policy object between decomposition and serving.
+    """
+    if policy is None:
+        return QCPolicy(loss_bound=problem.quality_requirement)
+    return policy
 
 
 def solve_qc_cinc(
     problem: LUDEMQCProblem,
     reference: Optional[MarkowitzReference] = None,
     executor: Union[Executor, int, None] = None,
+    policy: Optional[ReusePolicy] = None,
 ) -> SequenceResult:
     """Solve LUDEM-QC with the CINC machinery (β-clustering, Algorithm 4).
 
     ``executor`` schedules the per-cluster decomposition work units; the
     β-clustering scan itself is sequential and always runs in-process.
+    ``policy`` overrides the quality contract (default: a
+    :class:`~repro.policy.qc.QCPolicy` at the problem's β).
     """
     matrices = list(problem.ems)
     reference = reference or MarkowitzReference(symmetric=True)
+    policy = resolve_qc_policy(policy, problem)
     stopwatch = Stopwatch()
     with stopwatch.time("clustering"):
-        clusters = beta_clustering_cinc(matrices, problem.quality_requirement, reference)
+        clusters = policy.decomposition_clusters("CINC", matrices, reference)
     result = decompose_sequence_cinc(matrices, clusters=clusters, executor=executor)
     result.timing.clustering_time += stopwatch.total("clustering")
     result.cluster_count = len(clusters)
@@ -55,17 +82,21 @@ def solve_qc_clude(
     problem: LUDEMQCProblem,
     reference: Optional[MarkowitzReference] = None,
     executor: Union[Executor, int, None] = None,
+    policy: Optional[ReusePolicy] = None,
 ) -> SequenceResult:
     """Solve LUDEM-QC with the CLUDE machinery (β-clustering, Algorithm 5).
 
     ``executor`` schedules the per-cluster decomposition work units; the
     β-clustering scan itself is sequential and always runs in-process.
+    ``policy`` overrides the quality contract (default: a
+    :class:`~repro.policy.qc.QCPolicy` at the problem's β).
     """
     matrices = list(problem.ems)
     reference = reference or MarkowitzReference(symmetric=True)
+    policy = resolve_qc_policy(policy, problem)
     stopwatch = Stopwatch()
     with stopwatch.time("clustering"):
-        clusters = beta_clustering_clude(matrices, problem.quality_requirement, reference)
+        clusters = policy.decomposition_clusters("CLUDE", matrices, reference)
     result = decompose_sequence_clude(matrices, clusters=clusters, executor=executor)
     result.timing.clustering_time += stopwatch.total("clustering")
     return SequenceResult(

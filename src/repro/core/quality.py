@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Sequence, Union
 
-from repro.errors import DimensionError
+from repro.errors import DimensionError, MeasureError
 from repro.lu.markowitz import markowitz_ordering
 from repro.lu.mindegree import minimum_degree_ordering, symmetric_symbolic_size
 from repro.lu.symbolic import reorder_pattern, symbolic_decomposition
@@ -91,6 +91,51 @@ def quality_loss(
         raise DimensionError("reference symbolic pattern size must be positive")
     achieved = symbolic_size_under_ordering(matrix, ordering)
     return (achieved - reference_size) / reference_size
+
+
+def reuse_loss_bound(entries, damping: float) -> float:
+    """Bound the relative answer deviation of serving from stale factors.
+
+    The serving-side counterpart of Definition 4: when a query against system
+    ``A_new = I - d·M_new`` is answered **outright** from the factorization of
+    a similar cached system ``A_old`` (no refresh, no new factorization), the
+    answer it gets is ``x̃ = A_old^{-1} b`` instead of ``x = A_new^{-1} b``.
+    Writing ``ΔA = A_new - A_old`` (the sparse ``entries`` mapping of
+    :func:`~repro.graphs.matrixkind.system_delta`),
+
+        x̃ - x = A_old^{-1} (A_new - A_old) x  =  A_old^{-1} ΔA x,
+
+    and whenever ``M`` is column-substochastic (``‖M‖₁ <= 1``) the Neumann
+    series gives ``‖A_old^{-1}‖₁ <= 1 / (1 - d)``.  Hence the *relative* L1
+    deviation of the raw solution is bounded by::
+
+        ‖x̃ - x‖₁ / ‖x‖₁  <=  ‖ΔA‖₁ / (1 - d)
+
+    with ``‖ΔA‖₁`` the maximum absolute column sum of the entry delta.  That
+    right-hand side is what this function returns — computable from the
+    sparse delta alone, in O(|Δ|), without touching either matrix.
+
+    **Validity is per matrix kind.**  Column-substochasticity holds for
+    ``RANDOM_WALK`` (column-normalized ``W``) and both SALSA kinds (products
+    of two column-substochastic walks); for the undamped Laplacian system
+    ``A = I + L``, ``A·1 = 1`` with ``A⁻¹ >= 0`` and symmetry give
+    ``‖A⁻¹‖₁ = 1`` — pass ``damping=0.0`` there.  It does **not** hold for
+    ``SYMMETRIC_WALK`` (``S = D^{-1/2} A_u D^{-1/2}`` has column sums up to
+    ``sqrt(deg)``), so no finite amplification is certified and
+    :class:`~repro.policy.qc.QCPolicy` refuses to reuse across that kind.
+    The bound covers the raw solve; post transforms / normalization are
+    applied to both sides identically.
+    """
+    if not 0.0 <= damping < 1.0:
+        raise MeasureError(
+            f"damping factor must lie in [0, 1) for the reuse bound, got {damping}"
+        )
+    if not entries:
+        return 0.0
+    column_sums: Dict[int, float] = {}
+    for (_, column), value in entries.items():
+        column_sums[column] = column_sums.get(column, 0.0) + abs(value)
+    return max(column_sums.values()) / (1.0 - damping)
 
 
 class MarkowitzReference:

@@ -7,9 +7,11 @@ similarity ``mes``, the cluster bounding patterns ``A_∩`` (intersection) and
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import Iterable, List, Optional, Sequence
 
 from repro.errors import ClusteringError, DimensionError
+from repro.graphs.delta import GraphDelta, snapshot_edit_similarity
+from repro.graphs.snapshot import GraphSnapshot
 from repro.sparse.csr import SparseMatrix
 from repro.sparse.pattern import SparsityPattern, matrix_edit_similarity
 
@@ -50,6 +52,25 @@ def is_alpha_bounded(matrices: Sequence[SparseMatrix], alpha: float) -> bool:
     if not 0.0 <= alpha <= 1.0:
         raise ClusteringError(f"alpha must lie in [0, 1], got {alpha}")
     return cluster_compactness(matrices) >= alpha
+
+
+def snapshot_similarity(
+    before: GraphSnapshot,
+    after: GraphSnapshot,
+    delta: Optional[GraphDelta] = None,
+) -> float:
+    """Return the graph-level ``mes`` of two snapshots (Definition 6 analogue).
+
+    The serving-side similarity score reuse policies gate on: computed from
+    the edge sets (via :func:`~repro.graphs.delta.snapshot_edit_similarity`),
+    in O(|Δ|) when the :class:`~repro.graphs.delta.GraphDelta` is supplied.
+    For edge-mirroring system patterns it lower-bounds the matrix-pattern
+    ``mes`` of the composed ``A = I - d·M`` systems (see
+    :func:`~repro.graphs.delta.snapshot_edit_similarity` for the exact
+    scope — the two-hop SALSA compositions only get a heuristic prefilter,
+    their guarantee being the loss gate).
+    """
+    return snapshot_edit_similarity(before, after, delta=delta)
 
 
 def successive_similarities(matrices: Sequence[SparseMatrix]) -> List[float]:
@@ -145,6 +166,7 @@ __all__ = [
     "cluster_union_matrix",
     "cluster_compactness",
     "is_alpha_bounded",
+    "snapshot_similarity",
     "successive_similarities",
     "IncrementalClusterBound",
     "matrix_edit_similarity",

@@ -18,7 +18,17 @@ factorizations — every planner lookup is a counted cache hit.
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Hashable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -36,6 +46,9 @@ from repro.graphs.snapshot import GraphSnapshot
 from repro.query.batch import QueryBatch
 from repro.query.planner import BatchResult, QueryPlan, QueryPlanner
 from repro.query.spec import FactorizedSystem, Query, SystemKey
+
+if TYPE_CHECKING:
+    from repro.policy import ReusePolicy
 
 #: Signature of a sequence decomposition routine.
 SequenceAlgorithm = Callable[..., SequenceResult]
@@ -71,6 +84,12 @@ class EMSSolver:
         runs serially in-process, an ``int`` is a process-pool worker count,
         or pass an :class:`~repro.exec.executors.Executor` instance.  The
         decomposition is bitwise-identical regardless of the executor.
+    policy:
+        Reuse policy installed on planners this solver creates
+        (:meth:`seed_planner` / :attr:`planner`).  ``None`` (default) keeps
+        serving exact; a :class:`~repro.policy.qc.QCPolicy` lets batches
+        against snapshots *near* the decomposed sequence be answered from
+        the seeded factors within the policy's similarity/loss gates.
 
     Examples
     --------
@@ -92,6 +111,7 @@ class EMSSolver:
         algorithm: str = "CLUDE",
         alpha: float = 0.95,
         executor: Union[Executor, int, None] = None,
+        policy: Optional["ReusePolicy"] = None,
     ) -> None:
         name = algorithm.upper()
         if name not in ALGORITHMS:
@@ -102,6 +122,7 @@ class EMSSolver:
         self._algorithm_name = name
         self._alpha = alpha
         self._executor = executor
+        self._policy = policy
         self._result: Optional[SequenceResult] = None
         # Graph context (snapshots + matrix kind + damping) is only ever set
         # by from_graphs, which composes the EMS itself — so the context can
@@ -120,6 +141,7 @@ class EMSSolver:
         algorithm: str = "CLUDE",
         alpha: float = 0.95,
         executor: Union[Executor, int, None] = None,
+        policy: Optional["ReusePolicy"] = None,
     ) -> "EMSSolver":
         """Build the solver from a graph sequence, keeping the graph context.
 
@@ -131,7 +153,9 @@ class EMSSolver:
         to the matrices the queries describe.
         """
         ems = EvolvingMatrixSequence.from_graphs(egs, kind=kind, damping=damping)
-        solver = cls(ems, algorithm=algorithm, alpha=alpha, executor=executor)
+        solver = cls(
+            ems, algorithm=algorithm, alpha=alpha, executor=executor, policy=policy
+        )
         solver._egs = egs
         solver._kind = kind
         solver._damping = damping
@@ -222,12 +246,15 @@ class EMSSolver:
         One :class:`~repro.query.spec.FactorizedSystem` per EMS index is
         installed under ``(system_token(i), kind, damping)``, so planner
         groups that target this sequence are answered without any new
-        factorization — the measure-series fast path.  Requires graph
-        context (:meth:`from_graphs`): a bare-EMS solver cannot know which
-        ``(kind, damping)`` its matrices encode, and seeding under a guessed
-        key would answer queries from the wrong system.  ``executor`` only
-        applies when a fresh planner is created here; pass it on the
-        existing planner instead when supplying ``planner=``.
+        factorization — the measure-series fast path.  Each token is also
+        bound to its snapshot (:meth:`QueryPlanner.bind_snapshot`), so an
+        approximate reuse policy can score the seeded systems as candidates
+        for answering *similar* snapshots beyond the sequence.  Requires
+        graph context (:meth:`from_graphs`): a bare-EMS solver cannot know
+        which ``(kind, damping)`` its matrices encode, and seeding under a
+        guessed key would answer queries from the wrong system.  ``executor``
+        and the solver's ``policy`` only apply when a fresh planner is
+        created here; an existing planner keeps its own executor and policy.
         """
         if self._egs is None:
             raise MeasureError(
@@ -242,18 +269,21 @@ class EMSSolver:
         result = self.decompose()
         if planner is None:
             planner = QueryPlanner(
-                executor=executor if executor is not None else self._executor
+                executor=executor if executor is not None else self._executor,
+                policy=self._policy,
             )
         for index, matrix in enumerate(self._ems):
             decomposition = result[index]
+            token = self.system_token(index)
             planner.cache.seed(
                 SystemKey(
-                    system=self.system_token(index),
+                    system=token,
                     kind=self._kind,
                     damping=self._damping,
                 ),
                 FactorizedSystem(matrix, decomposition.ordering, decomposition.factors),
             )
+            planner.bind_snapshot(token, self._egs[index])
         return planner
 
     @property

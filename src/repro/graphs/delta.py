@@ -82,6 +82,48 @@ def touched_nodes(delta: GraphDelta) -> Tuple[int, ...]:
     return tuple(sorted(nodes))
 
 
+def snapshot_edit_similarity(
+    before: GraphSnapshot,
+    after: GraphSnapshot,
+    delta: "GraphDelta | None" = None,
+) -> float:
+    """Graph-level matrix edit similarity, computed from the delta in O(|Δ|).
+
+    The analogue of the paper's ``mes`` (Definition 6) on the directed edge
+    sets themselves::
+
+        mes(G_1, G_2) = 2 |E_1 ∩ E_2| / (|E_1| + |E_2|)
+
+    Given the :class:`GraphDelta` between the snapshots the intersection size
+    is ``|E_1| - |removed|``, so the score costs nothing beyond the delta —
+    this is the fast scoring path serving-time reuse policies scan candidate
+    snapshots with.  Two edgeless snapshots are defined to be identical
+    (similarity ``1.0``).
+
+    For the kinds whose system pattern mirrors the edge set (one stored
+    position per edge — ``RANDOM_WALK`` transposed, ``SYMMETRIC_WALK`` /
+    ``LAPLACIAN`` symmetrized — plus the shared identity diagonal), the
+    edge-set score is a *lower bound* on the matrix-pattern ``mes`` of the
+    composed systems: adding the ``n`` shared diagonal positions to both
+    intersection and union can only raise the ratio, so an α satisfied here
+    is satisfied by those matrices too.  The two-hop SALSA compositions do
+    **not** inherit that guarantee (one changed edge perturbs product
+    entries two steps away); for them the score is a cheap prefilter only,
+    and the quality contract rests entirely on the certified loss gate.
+    """
+    if before.n != after.n:
+        raise DimensionError(
+            f"snapshots have different node counts: {before.n} vs {after.n}"
+        )
+    total = before.edge_count + after.edge_count
+    if total == 0:
+        return 1.0
+    if delta is None:
+        delta = GraphDelta.between(before, after)
+    common = before.edge_count - len(delta.removed)
+    return 2.0 * common / total
+
+
 def touched_sources(delta: GraphDelta) -> Tuple[int, ...]:
     """Return the sorted set of *source* nodes of any changed edge.
 

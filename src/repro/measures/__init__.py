@@ -4,6 +4,7 @@ from repro.measures.base import SnapshotMeasureSolver, normalize_distribution, r
 from repro.measures.hitting_time import (
     discounted_hitting_proximity,
     discounted_hitting_scores,
+    discounted_hitting_scores_many,
 )
 from repro.measures.monte_carlo import MonteCarloResult, rwr_monte_carlo
 from repro.measures.pagerank import pagerank_rhs, pagerank_scores, pagerank_series
@@ -49,6 +50,7 @@ __all__ = [
     "ppr_many_rhs",
     "salsa_scores",
     "discounted_hitting_scores",
+    "discounted_hitting_scores_many",
     "discounted_hitting_proximity",
     "power_iteration_solve",
     "power_iteration_solve_many",

@@ -15,7 +15,7 @@ observable: a whole series run adds zero factorizations.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -27,6 +27,9 @@ from repro.graphs.matrixkind import DEFAULT_DAMPING, MatrixKind
 from repro.query.batch import QueryBatch
 from repro.query.planner import BatchResult, QueryPlan
 from repro.query.spec import Query
+
+if TYPE_CHECKING:
+    from repro.policy import ReusePolicy
 
 
 class MeasureSeries:
@@ -44,6 +47,12 @@ class MeasureSeries:
         Similarity threshold for the cluster-based algorithms.
     executor:
         Executor for the decomposition work units (``None`` = serial).
+    policy:
+        Reuse policy for the series' query planner.  ``None`` (default)
+        serves exactly; a :class:`~repro.policy.qc.QCPolicy` lets batches
+        against snapshots similar to the decomposed sequence (e.g. an
+        evolving head) be answered from the seeded factors, with per-group
+        loss estimates reported in the batch result's ``approximations``.
     """
 
     def __init__(
@@ -53,6 +62,7 @@ class MeasureSeries:
         algorithm: str = "CLUDE",
         alpha: float = 0.95,
         executor: Union[Executor, int, None] = None,
+        policy: Optional["ReusePolicy"] = None,
     ) -> None:
         if not 0.0 < damping < 1.0:
             raise MeasureError(f"damping factor must lie in (0, 1), got {damping}")
@@ -65,6 +75,7 @@ class MeasureSeries:
             algorithm=algorithm,
             alpha=alpha,
             executor=executor,
+            policy=policy,
         )
 
     @property

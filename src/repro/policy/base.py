@@ -1,0 +1,169 @@
+"""The reuse-policy protocol: approximation as a first-class object.
+
+The paper's central trade — accept a *bounded* quality loss to reuse an
+existing factorization instead of computing a fresh one — appears twice in
+this library:
+
+* **Offline** (LUDEM-QC, Section 5): the β-clustering algorithms grow a
+  cluster only while the shared ordering provably keeps every member's
+  quality loss (Definition 4) within the bound.
+* **Online** (serving): a query planner facing a cache miss for a snapshot
+  that is *similar enough* to a cached one may answer from the cached
+  system's factors outright — no refresh, no factorization — as long as the
+  estimated answer deviation stays within the bound.
+
+A :class:`ReusePolicy` makes that trade inspectable and swappable instead of
+a flag buried inside one algorithm.  It owns the three ingredients:
+snapshot-similarity scoring (:func:`repro.core.similarity.
+snapshot_similarity`), the quality-loss estimate
+(:func:`repro.core.quality.reuse_loss_bound` online, Definition 4 via
+:class:`~repro.core.quality.MarkowitzReference` offline) and the
+accept/reject decision combining them.  :class:`~repro.policy.exact.
+ExactPolicy` never approximates; :class:`~repro.policy.qc.QCPolicy` applies
+the paper's α/β gates; new policies subclass :class:`ReusePolicy`.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+if TYPE_CHECKING:  # imported lazily at runtime to keep the package cycle-free
+    from repro.core.clustering import MatrixCluster
+    from repro.core.quality import MarkowitzReference
+    from repro.graphs.delta import GraphDelta
+    from repro.graphs.matrixkind import MatrixKind
+    from repro.graphs.snapshot import GraphSnapshot
+    from repro.sparse.csr import SparseMatrix
+
+#: The decomposition flavors a policy can cluster for (Algorithms 4 and 5).
+DECOMPOSITION_FLAVORS = ("CINC", "CLUDE")
+
+
+@dataclasses.dataclass(frozen=True)
+class ReuseDecision:
+    """A policy's verdict that one cached system may answer for another.
+
+    Attributes
+    ----------
+    similarity:
+        The snapshot similarity score the candidate passed (``mes``-style,
+        in ``[0, 1]``; ``1.0`` means content-identical snapshots).
+    loss_estimate:
+        The policy's estimate of the quality loss the caller accepts by
+        reusing — for :class:`~repro.policy.qc.QCPolicy` the certified bound
+        on the relative L1 deviation of the raw answer
+        (:func:`~repro.core.quality.reuse_loss_bound`).  Always within the
+        policy's declared bound, by construction of the gate.
+    """
+
+    similarity: float
+    loss_estimate: float
+
+    def preferable_to(self, other: "ReuseDecision") -> bool:
+        """Deterministic candidate ranking: higher similarity, then lower loss."""
+        return (self.similarity, -self.loss_estimate) > (
+            other.similarity,
+            -other.loss_estimate,
+        )
+
+
+class ReusePolicy(abc.ABC):
+    """Decides when an existing factorization may stand in for a fresh one.
+
+    Two consumer surfaces share one policy object:
+
+    * :meth:`evaluate_reuse` — the **serving** gate.  The query planner calls
+      it for every cached candidate system when a miss group's snapshot has
+      no factors of its own; a non-``None`` :class:`ReuseDecision` licenses
+      answering from the candidate's factors and carries the audit fields
+      recorded in the batch result.
+    * :meth:`decomposition_clusters` — the **offline** gate.  The LUDEM-QC
+      drivers (:mod:`repro.core.qc`) delegate their β-clustering step here,
+      so the same policy object states the quality contract for both paths.
+    """
+
+    @property
+    @abc.abstractmethod
+    def name(self) -> str:
+        """Short human-readable policy name (appears in audit records)."""
+
+    @property
+    @abc.abstractmethod
+    def is_exact(self) -> bool:
+        """``True`` when the policy never licenses an approximate answer.
+
+        The planner skips the candidate scan entirely for exact policies, so
+        an exact-policy planner is bitwise-identical to a policy-less one.
+        """
+
+    def prefilter(self, parent: "GraphSnapshot", child: "GraphSnapshot") -> bool:
+        """Cheap O(1) pre-gate run before any delta is built for a candidate.
+
+        Return ``False`` only when :meth:`evaluate_reuse` would *provably*
+        reject the pair, using nothing more expensive than counts — the
+        planner then skips the O(|E|) delta construction for that candidate.
+        The default accepts everything (no information, no rejection).
+        """
+        return True
+
+    @abc.abstractmethod
+    def evaluate_reuse(
+        self,
+        parent: "GraphSnapshot",
+        child: "GraphSnapshot",
+        *,
+        kind: "MatrixKind",
+        damping: float,
+        delta: Optional["GraphDelta"] = None,
+    ) -> Optional[ReuseDecision]:
+        """Gate answering ``child``'s queries from ``parent``'s cached factors.
+
+        Returns a :class:`ReuseDecision` when the policy accepts the
+        substitution, ``None`` when it rejects.  ``delta`` is the
+        already-computed :class:`~repro.graphs.delta.GraphDelta` between the
+        snapshots, when the caller has it (the planner computes one per
+        candidate anyway for the fast similarity path).
+        """
+
+    @abc.abstractmethod
+    def decomposition_clusters(
+        self,
+        flavor: str,
+        matrices: Sequence["SparseMatrix"],
+        reference: Optional["MarkowitzReference"] = None,
+    ) -> List["MatrixCluster"]:
+        """Segment an EMS under this policy's quality contract.
+
+        ``flavor`` selects the clustering algorithm (``"CINC"`` = Algorithm 4,
+        first-member ordering; ``"CLUDE"`` = Algorithm 5, union ordering with
+        the ``|s̃p(A_∪^{O_∪})|`` shortcut).
+        """
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+def _beta_clusters(
+    flavor: str,
+    matrices: Sequence["SparseMatrix"],
+    beta: float,
+    reference: Optional["MarkowitzReference"],
+) -> List["MatrixCluster"]:
+    """Run the paper's β-clustering for one flavor (shared by the policies).
+
+    Imported lazily: :mod:`repro.core.clustering` sits below the query/solver
+    layers that import this package at module load.
+    """
+    from repro.core.clustering import beta_clustering_cinc, beta_clustering_clude
+    from repro.errors import ClusteringError
+
+    if flavor == "CINC":
+        return beta_clustering_cinc(matrices, beta, reference)
+    if flavor == "CLUDE":
+        return beta_clustering_clude(matrices, beta, reference)
+    raise ClusteringError(
+        f"unknown decomposition flavor {flavor!r}; "
+        f"expected one of {', '.join(DECOMPOSITION_FLAVORS)}"
+    )

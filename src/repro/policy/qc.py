@@ -1,0 +1,201 @@
+"""The quality-controlled reuse policy: the paper's α/β gates, unified.
+
+:class:`QCPolicy` carries the two thresholds the paper trades with:
+
+* ``alpha`` — the similarity floor (Definition 8's α-boundedness, applied
+  serving-side to snapshot pairs): a cached system is only considered for
+  reuse when ``mes(parent, child) >= alpha``.
+* ``loss_bound`` — the quality-loss ceiling (Definition 5's β, applied to
+  whichever loss measure the consumer trades in): offline it bounds the
+  ordering quality loss of a shared cluster ordering; online it bounds the
+  certified relative deviation of answering from stale factors
+  (:func:`~repro.core.quality.reuse_loss_bound`).
+
+The two gates are deliberately evaluated in that order: similarity costs
+O(|Δ|) given the graph delta, while the loss estimate needs the system-level
+entry delta (:func:`~repro.graphs.matrixkind.system_delta`) — still cheap,
+but not free, so dissimilar candidates are discarded before it is built.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+from repro.policy.base import ReuseDecision, ReusePolicy, _beta_clusters
+
+if TYPE_CHECKING:
+    from repro.core.clustering import MatrixCluster
+    from repro.core.quality import MarkowitzReference
+    from repro.graphs.delta import GraphDelta
+    from repro.graphs.matrixkind import MatrixKind
+    from repro.graphs.snapshot import GraphSnapshot
+    from repro.sparse.csr import SparseMatrix
+
+
+class QCPolicy(ReusePolicy):
+    """Accept a bounded quality loss in exchange for factorization reuse.
+
+    Parameters
+    ----------
+    alpha:
+        Snapshot-similarity floor in ``[0, 1]``: candidates below it are
+        rejected before any loss estimation.  ``0.0`` admits every candidate
+        to the loss gate; ``1.0`` only content-identical snapshots.
+    loss_bound:
+        Non-negative quality-loss ceiling (the paper's β).  Serving-side it
+        caps the reported :attr:`~repro.policy.base.ReuseDecision.
+        loss_estimate`, so every approximate answer a planner emits under
+        this policy carries an estimate ``<= loss_bound`` by construction.
+    """
+
+    def __init__(self, alpha: float = 0.95, loss_bound: float = 0.1) -> None:
+        from repro.errors import ClusteringError
+
+        if not 0.0 <= alpha <= 1.0:
+            raise ClusteringError(f"alpha must lie in [0, 1], got {alpha}")
+        if loss_bound < 0.0:
+            raise ClusteringError(
+                f"quality-loss bound must be non-negative, got {loss_bound}"
+            )
+        self._alpha = float(alpha)
+        self._loss_bound = float(loss_bound)
+
+    @property
+    def name(self) -> str:
+        return "qc"
+
+    @property
+    def is_exact(self) -> bool:
+        return False
+
+    @property
+    def alpha(self) -> float:
+        """The similarity floor."""
+        return self._alpha
+
+    @property
+    def loss_bound(self) -> float:
+        """The quality-loss ceiling (β)."""
+        return self._loss_bound
+
+    # ------------------------------------------------------------------ #
+    # The two scoring ingredients (inspectable on their own)
+    # ------------------------------------------------------------------ #
+    def similarity(
+        self,
+        parent: "GraphSnapshot",
+        child: "GraphSnapshot",
+        delta: Optional["GraphDelta"] = None,
+    ) -> float:
+        """Snapshot similarity score (``mes``; O(|Δ|) when ``delta`` given)."""
+        from repro.core.similarity import snapshot_similarity
+
+        return snapshot_similarity(parent, child, delta=delta)
+
+    @staticmethod
+    def certifies_kind(kind: "MatrixKind") -> bool:
+        """Whether a finite deviation amplification is certified for ``kind``.
+
+        The :func:`~repro.core.quality.reuse_loss_bound` derivation needs
+        ``‖A⁻¹‖₁`` bounded: true for the column-substochastic kinds
+        (``RANDOM_WALK``, both SALSA products; amplification ``1/(1-d)``)
+        and the Laplacian system (amplification 1), **not** for
+        ``SYMMETRIC_WALK``, whose normalized matrix has column sums up to
+        ``sqrt(deg)``.  Uncertified kinds are never reused — an unbounded
+        "estimate" would not be a quality guarantee.
+        """
+        from repro.graphs.matrixkind import MatrixKind
+
+        return kind in (
+            MatrixKind.RANDOM_WALK,
+            MatrixKind.SALSA_AUTHORITY,
+            MatrixKind.SALSA_HUB,
+            MatrixKind.LAPLACIAN,
+        )
+
+    def loss_estimate(
+        self,
+        parent: "GraphSnapshot",
+        child: "GraphSnapshot",
+        *,
+        kind: "MatrixKind",
+        damping: float,
+        delta: Optional["GraphDelta"] = None,
+    ) -> float:
+        """Certified relative-deviation bound of answering child from parent.
+
+        Builds the sparse system-matrix delta for ``kind`` and feeds it to
+        :func:`~repro.core.quality.reuse_loss_bound`.  The Laplacian kind is
+        undamped (``A = I + L`` has a unit-norm inverse), so its
+        amplification factor is 1.  Raises
+        :class:`~repro.errors.MeasureError` for kinds without a certified
+        amplification (see :meth:`certifies_kind`).
+        """
+        from repro.core.quality import reuse_loss_bound
+        from repro.errors import MeasureError
+        from repro.graphs.matrixkind import MatrixKind, system_delta
+
+        if not self.certifies_kind(kind):
+            raise MeasureError(
+                f"no certified reuse-loss bound for matrix kind {kind!r}; "
+                "QCPolicy only trades quality where the loss estimate is a "
+                "proven deviation bound"
+            )
+        entries = system_delta(parent, child, kind=kind, damping=damping, delta=delta)
+        amplifier_damping = 0.0 if kind is MatrixKind.LAPLACIAN else damping
+        return reuse_loss_bound(entries, amplifier_damping)
+
+    # ------------------------------------------------------------------ #
+    # The serving gate
+    # ------------------------------------------------------------------ #
+    def prefilter(self, parent: "GraphSnapshot", child: "GraphSnapshot") -> bool:
+        """Edge-count upper bound on similarity: reject below α without a delta.
+
+        ``mes <= 2·min(|E_p|, |E_c|) / (|E_p| + |E_c|)`` (the intersection
+        can never exceed the smaller edge set), so a candidate whose bound
+        already misses ``alpha`` is rejected in O(1).
+        """
+        total = parent.edge_count + child.edge_count
+        if total == 0:
+            return True  # two edgeless snapshots: similarity is defined as 1
+        bound = 2.0 * min(parent.edge_count, child.edge_count) / total
+        return bound >= self._alpha
+
+    def evaluate_reuse(
+        self,
+        parent: "GraphSnapshot",
+        child: "GraphSnapshot",
+        *,
+        kind: "MatrixKind",
+        damping: float,
+        delta: Optional["GraphDelta"] = None,
+    ) -> Optional[ReuseDecision]:
+        from repro.graphs.delta import GraphDelta
+
+        if parent.n != child.n or not self.certifies_kind(kind):
+            return None
+        if delta is None:
+            delta = GraphDelta.between(parent, child)
+        similarity = self.similarity(parent, child, delta=delta)
+        if similarity < self._alpha:
+            return None
+        loss = self.loss_estimate(
+            parent, child, kind=kind, damping=damping, delta=delta
+        )
+        if loss > self._loss_bound:
+            return None
+        return ReuseDecision(similarity=similarity, loss_estimate=loss)
+
+    # ------------------------------------------------------------------ #
+    # The offline gate (LUDEM-QC β-clustering)
+    # ------------------------------------------------------------------ #
+    def decomposition_clusters(
+        self,
+        flavor: str,
+        matrices: Sequence["SparseMatrix"],
+        reference: Optional["MarkowitzReference"] = None,
+    ) -> List["MatrixCluster"]:
+        return _beta_clusters(flavor, matrices, self._loss_bound, reference)
+
+    def __repr__(self) -> str:
+        return f"QCPolicy(alpha={self._alpha}, loss_bound={self._loss_bound})"

@@ -17,6 +17,7 @@ and answers every group with one batched multi-RHS solve.
 
 from repro.query.batch import QueryBatch
 from repro.query.planner import (
+    ApproximationRecord,
     BatchResult,
     DirectAnswer,
     FactorCache,
@@ -24,6 +25,7 @@ from repro.query.planner import (
     PlannerStats,
     QueryPlan,
     QueryPlanner,
+    ResultCache,
 )
 from repro.query.spec import (
     FactorizedSystem,
@@ -58,5 +60,7 @@ __all__ = [
     "DirectAnswer",
     "PlannerStats",
     "BatchResult",
+    "ApproximationRecord",
     "FactorCache",
+    "ResultCache",
 ]

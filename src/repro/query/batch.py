@@ -111,10 +111,20 @@ class QueryBatch:
         target: int,
         damping: float = DEFAULT_DAMPING,
         system_token: Optional[Hashable] = None,
+        shared: bool = False,
     ) -> "QueryBatch":
-        """Append a discounted-hitting-time query towards one target."""
+        """Append a discounted-hitting-time query towards one target.
+
+        ``shared=True`` routes through the ``"hitting_time_shared"`` spec:
+        every target of a snapshot then lands in **one** planner group over
+        the unmasked system (one factorization for all targets, answered via
+        the Sherman–Morrison identity) instead of one masked system per
+        target.  Shared answers match the per-target path to numerical
+        tolerance, not bitwise.
+        """
         return self.add(make_query(
-            "hitting_time", snapshot, damping=damping, system_token=system_token,
+            "hitting_time_shared" if shared else "hitting_time",
+            snapshot, damping=damping, system_token=system_token,
             target=int(target),
         ))
 

@@ -21,13 +21,40 @@ snapshots costs zero factorizations, and sequence-level solvers
 decompositions so measure series ride on already-computed factors.  Every
 numerical path is the same batched kernel stack used everywhere else, so
 planner answers are bitwise identical to the legacy per-measure drivers.
+
+Two further reuse levels stack on top (see :class:`QueryPlanner` for the
+precedence order):
+
+* an answer-level :class:`ResultCache` keyed by ``(SystemKey, rhs
+  fingerprint)`` short-circuits repeated identical queries before the
+  substitution sweep, with invalidation driven by the factor cache;
+* an approximate :class:`~repro.policy.base.ReusePolicy` (opt-in) may answer
+  a miss group from a cached *similar* system's factors outright — the
+  paper's bounded quality-loss trade applied to serving — recording one
+  :class:`ApproximationRecord` per approximated group in the
+  :class:`BatchResult` audit trail.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import types
+import weakref
 from collections import OrderedDict
-from typing import Dict, Hashable, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Hashable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -41,6 +68,7 @@ from repro.lu.bennett import bennett_update
 from repro.query.batch import QueryBatch
 from repro.query.spec import (
     FactorizedSystem,
+    MeasureSpec,
     Query,
     SystemKey,
     get_spec,
@@ -48,6 +76,10 @@ from repro.query.spec import (
 )
 from repro.sparse.csr import SparseMatrix
 from repro.sparse.types import Entries
+
+if TYPE_CHECKING:  # runtime import is lazy: repro.policy sits above core,
+    # whose solver module imports this one (see QueryPlanner.__init__).
+    from repro.policy import ReuseDecision, ReusePolicy
 
 #: Default ``refresh_threshold``: a system-matrix delta touching more than
 #: this fraction of the cached matrix's non-zeros falls back to a cold
@@ -112,6 +144,10 @@ class FactorCache:
         self._evictions = 0
         self._refreshes = 0
         self._refresh_fallbacks = 0
+        #: resolvers returning the live listener or ``None`` once collected
+        self._invalidation_listeners: List[
+            Callable[[], Optional[Callable[[SystemKey], None]]]
+        ] = []
 
     def __len__(self) -> int:
         return len(self._systems)
@@ -137,13 +173,61 @@ class FactorCache:
         """Return the cached system without touching counters or recency."""
         return self._systems.get(key)
 
+    def touch(self, key: SystemKey) -> None:
+        """Freshen a key's LRU recency without counting a hit or a miss.
+
+        Used by policy-level reuse: a cached system answering *for another
+        key* is in active use and must not age towards eviction, but the
+        pinned per-group hit/miss accounting (one counted lookup per planned
+        group) may not change.
+        """
+        if key in self._systems:
+            self._systems.move_to_end(key)
+
+    def add_invalidation_listener(self, listener: Callable[[SystemKey], None]) -> None:
+        """Subscribe to key invalidations (evictions and factor installs).
+
+        The listener fires whenever the factors behind a key can no longer be
+        assumed unchanged: the key is evicted (a later re-factorization is
+        exact but not necessarily bit-identical), dropped by a stealing
+        refresh, or has new factors installed over it.  Planners hang their
+        result caches here so derived answers never outlive their factors.
+
+        Bound-method listeners are held **weakly** (their receiver is not
+        kept alive by the subscription, and dead subscriptions are pruned),
+        so short-lived planners sharing a long-lived factor cache do not
+        accumulate; keep the receiving object alive for as long as the
+        subscription should fire.  Plain functions are held strongly.
+        """
+        if isinstance(listener, types.MethodType):
+            self._invalidation_listeners.append(weakref.WeakMethod(listener))
+        else:
+            self._invalidation_listeners.append(lambda _fn=listener: _fn)
+
+    def _invalidate(self, key: SystemKey) -> None:
+        dead = False
+        for resolver in self._invalidation_listeners:
+            listener = resolver()
+            if listener is None:
+                dead = True
+                continue
+            listener(key)
+        if dead:
+            self._invalidation_listeners = [
+                resolver
+                for resolver in self._invalidation_listeners
+                if resolver() is not None
+            ]
+
     def _install(self, key: SystemKey, system: FactorizedSystem) -> None:
+        self._invalidate(key)
         self._systems[key] = system
         self._systems.move_to_end(key)
         if self._max_systems is not None:
             while len(self._systems) > self._max_systems:
-                self._systems.popitem(last=False)
+                evicted, _ = self._systems.popitem(last=False)
                 self._evictions += 1
+                self._invalidate(evicted)
 
     def seed(self, key: SystemKey, system: FactorizedSystem) -> None:
         """Install a system without touching the counters (pre-population).
@@ -260,7 +344,8 @@ class FactorCache:
             new_matrix = _apply_entry_delta(cached.matrix, delta)
         system = FactorizedSystem(new_matrix, ordering, working.factors)
         if steal:
-            self._systems.pop(old_key, None)
+            if self._systems.pop(old_key, None) is not None:
+                self._invalidate(old_key)
         self.commit_refresh(new_key, system)
         return system
 
@@ -277,12 +362,142 @@ class FactorCache:
 
     def clear(self) -> None:
         """Drop every cached system and reset the counters."""
+        for key in tuple(self._systems):
+            self._invalidate(key)
         self._systems.clear()
         self._hits = 0
         self._misses = 0
         self._evictions = 0
         self._refreshes = 0
         self._refresh_fallbacks = 0
+
+
+#: Default size of a planner's answer-level result cache.
+DEFAULT_RESULT_CACHE_SIZE = 1024
+
+#: A result-cache key: ``(SystemKey, finalize identity, rhs fingerprint)``.
+ResultKey = Tuple[SystemKey, Hashable, bytes]
+
+
+class ResultCache:
+    """LRU cache of *finalized answers* keyed by ``(SystemKey, rhs fingerprint)``.
+
+    Serving workloads repeat hot queries; a repeated query should not even
+    pay the substitution sweep.  The key is the system identity plus a digest
+    of the right-hand-side bytes — so two queries whose specs build the same
+    RHS against the same factors share one entry (e.g. an RWR from node ``u``
+    and a single-seed PPR at ``u``).  Specs with a post-transform or
+    normalization extend the key with their name and parameters, since their
+    final answer is not a pure function of ``(system, rhs)``.
+
+    Entries are value-isolated: arrays are copied in on store and copied out
+    on hit, so callers may mutate their results freely.  Invalidation is
+    driven by the factor cache (:meth:`FactorCache.add_invalidation_listener`):
+    whenever a key's factors are evicted, stolen or replaced, every answer
+    derived from them is dropped — a re-factorized system is exact but not
+    necessarily bit-identical, and a refreshed one is not even that.
+    """
+
+    def __init__(self, max_entries: int = DEFAULT_RESULT_CACHE_SIZE) -> None:
+        if max_entries < 1:
+            raise MeasureError(f"max_entries must be positive, got {max_entries}")
+        self._entries: "OrderedDict[ResultKey, np.ndarray]" = OrderedDict()
+        self._by_system: Dict[SystemKey, Set[ResultKey]] = {}
+        self._max_entries = int(max_entries)
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, key: ResultKey) -> Optional[np.ndarray]:
+        """Return a copy of the cached answer, counting the hit or miss."""
+        answer = self._entries.get(key)
+        if answer is None:
+            self._misses += 1
+            return None
+        self._hits += 1
+        self._entries.move_to_end(key)
+        return answer.copy()
+
+    def store(self, key: ResultKey, answer: np.ndarray) -> None:
+        """Install (a copy of) a freshly computed answer."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            return
+        self._entries[key] = np.array(answer, dtype=float, copy=True)
+        self._by_system.setdefault(key[0], set()).add(key)
+        while len(self._entries) > self._max_entries:
+            evicted, _ = self._entries.popitem(last=False)
+            self._evictions += 1
+            siblings = self._by_system.get(evicted[0])
+            if siblings is not None:
+                siblings.discard(evicted)
+                if not siblings:
+                    del self._by_system[evicted[0]]
+
+    def invalidate_system(self, system_key: SystemKey) -> None:
+        """Drop every answer derived from one system's factors."""
+        for key in self._by_system.pop(system_key, ()):  # type: ignore[arg-type]
+            if self._entries.pop(key, None) is not None:
+                self._invalidations += 1
+
+    def cache_info(self) -> Dict[str, int]:
+        """Return hit/miss/eviction/invalidation/size counters."""
+        return {
+            "hits": self._hits,
+            "misses": self._misses,
+            "evictions": self._evictions,
+            "invalidations": self._invalidations,
+            "size": len(self._entries),
+        }
+
+    def clear(self) -> None:
+        """Drop every cached answer and reset the counters."""
+        self._entries.clear()
+        self._by_system.clear()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._invalidations = 0
+
+
+@dataclasses.dataclass(frozen=True)
+class ApproximationRecord:
+    """Audit trail of one QC-approximated group: what was traded, for what.
+
+    Every batch answered under an approximate :class:`~repro.policy.base.
+    ReusePolicy` reports one record per group that was served from another
+    system's factors, so callers can see exactly which positions of the
+    result are approximate and at what certified cost.
+
+    Attributes
+    ----------
+    positions:
+        Batch positions answered from the reused factors.
+    system:
+        The :class:`~repro.query.spec.SystemKey` identity the queries asked
+        for (snapshot or sequence token).
+    parent_system:
+        The identity of the cached system that actually answered.
+    similarity:
+        Snapshot similarity the candidate passed (``>= policy alpha``).
+    loss_estimate:
+        Certified relative-deviation bound of the raw answers
+        (``<= policy loss bound``); see
+        :func:`repro.core.quality.reuse_loss_bound`.
+    policy:
+        Name of the policy that licensed the approximation.
+    """
+
+    positions: Tuple[int, ...]
+    system: Hashable
+    parent_system: Hashable
+    similarity: float
+    loss_estimate: float
+    policy: str
 
 
 @dataclasses.dataclass(frozen=True)
@@ -330,11 +545,15 @@ class PlannerStats:
     """What one :meth:`QueryPlanner.execute` run cost.
 
     ``factorizations`` is the acceptance-criteria counter: it equals the
-    number of planned groups whose key was not already in the factor cache
-    *and* could not be delta-refreshed from a cached parent — at most one
-    factorization per distinct system matrix, ever.  ``refreshes`` counts
-    miss groups answered by Bennett-updating a cached parent's factors
-    instead of factorizing cold.
+    number of planned groups whose key was not already in the factor cache,
+    was not answered outright by the reuse policy, *and* could not be
+    delta-refreshed from a cached parent — at most one factorization per
+    distinct system matrix, ever.  ``refreshes`` counts miss groups answered
+    by Bennett-updating a cached parent's factors; ``qc_reuses`` counts miss
+    groups answered *from another system's factors unchanged* under an
+    approximate policy (no numerical work at all); ``result_hits`` counts
+    individual queries answered straight from the result cache without a
+    substitution sweep.
     """
 
     queries: int
@@ -343,14 +562,24 @@ class PlannerStats:
     cache_hits: int
     direct_answers: int
     refreshes: int = 0
+    qc_reuses: int = 0
+    result_hits: int = 0
 
 
 @dataclasses.dataclass
 class BatchResult:
-    """Positional answers of one batch plus the run's reuse statistics."""
+    """Positional answers of one batch plus the run's reuse statistics.
+
+    ``approximations`` is the quality audit: one
+    :class:`ApproximationRecord` per group answered from a similar system's
+    factors under the planner's reuse policy, carrying the similarity score
+    and the certified loss estimate.  Empty under an exact policy — every
+    answer is then bitwise what a policy-less planner produces.
+    """
 
     results: List[np.ndarray]
     stats: PlannerStats
+    approximations: Tuple[ApproximationRecord, ...] = ()
 
     def __len__(self) -> int:
         return len(self.results)
@@ -361,9 +590,45 @@ class BatchResult:
     def __getitem__(self, index: int) -> np.ndarray:
         return self.results[index]
 
+    @property
+    def max_loss_estimate(self) -> float:
+        """Largest certified loss estimate in the batch (0.0 if none)."""
+        if not self.approximations:
+            return 0.0
+        return max(record.loss_estimate for record in self.approximations)
+
+    def approximate_positions(self) -> Tuple[int, ...]:
+        """Sorted batch positions whose answers are policy approximations."""
+        return tuple(sorted(
+            position
+            for record in self.approximations
+            for position in record.positions
+        ))
+
 
 class QueryPlanner:
     """Group queries by shared system matrix; factorize once per group.
+
+    A miss group is answered by the cheapest admissible source, in one fixed
+    precedence order (each step falls through to the next):
+
+    1. **Factor-cache hit** — the key's own factors are cached.
+    2. **Policy reuse** — an approximate :class:`~repro.policy.base.
+       ReusePolicy` (e.g. :class:`~repro.policy.qc.QCPolicy`) licenses
+       answering from a cached *similar* system's factors outright: no
+       factorization, no refresh, an :class:`ApproximationRecord` in the
+       batch result.  Exact policies skip this step entirely.
+    3. **Delta refresh** — a registered lineage (or, with ``auto_refresh``,
+       the nearest cached same-shape snapshot) Bennett-updates a clone of
+       the parent's factors: near-exact, cheaper than cold.
+    4. **Cold factorization** — Markowitz + Crout, dispatched as executor
+       work units.
+
+    Policy reuse outranks refresh because it does zero numerical work and
+    the policy explicitly certifies the accepted loss; refresh outranks cold
+    because it is near-exact and cheaper.  Groups answered at steps 1–3
+    never reach the FACTOR unit fan-out; groups answered at step 2 skip the
+    REFRESH units as well.
 
     Parameters
     ----------
@@ -384,6 +649,21 @@ class QueryPlanner:
         factors answer within numerical tolerance but not bitwise-identically
         to a cold factorization, so refresh must be opted into — either
         through this flag or per-evolution via :meth:`register_evolution`.
+    policy:
+        The reuse policy for step 2.  ``None`` (default) resolves to
+        :class:`~repro.policy.exact.ExactPolicy`, under which the planner's
+        output is bitwise identical to the historical planner.  An
+        approximate policy must be opted into explicitly — its answers are
+        *approximations*, audited per group in
+        :attr:`BatchResult.approximations`.
+    result_cache:
+        The answer-level cache for repeated identical queries: ``None``
+        (default) creates a :class:`ResultCache` bounded at
+        ``DEFAULT_RESULT_CACHE_SIZE``; an ``int`` bounds a fresh cache at
+        that many entries (``0`` disables result caching); ``True`` /
+        ``False`` mean default / disabled; a :class:`ResultCache` instance
+        is used as given.  Cached answers are value-copies, so result
+        caching never changes observable answers.
     """
 
     def __init__(
@@ -391,23 +671,130 @@ class QueryPlanner:
         executor: Union[Executor, int, None] = None,
         cache: Optional[FactorCache] = None,
         auto_refresh: bool = False,
+        policy: Optional["ReusePolicy"] = None,
+        result_cache: Union[ResultCache, int, None] = None,
     ) -> None:
+        # Imported here, not at module level: repro.policy sits above the
+        # core package, whose solver module imports this one.
+        from repro.policy import ExactPolicy, ReusePolicy
+
+        if policy is None:
+            policy = ExactPolicy()
+        elif not isinstance(policy, ReusePolicy):
+            raise MeasureError(
+                f"policy must be a ReusePolicy, got {type(policy).__name__}"
+            )
         self._executor = executor
         self._cache = cache if cache is not None else FactorCache()
         self._auto_refresh = bool(auto_refresh)
+        self._policy = policy
+        if result_cache is None:
+            self._results: Optional[ResultCache] = ResultCache()
+        elif isinstance(result_cache, bool):
+            # bools are ints: True would otherwise build a degenerate
+            # 1-entry cache.  Honor the evident intent instead.
+            self._results = ResultCache() if result_cache else None
+        elif isinstance(result_cache, int):
+            if result_cache < 0:
+                raise MeasureError(
+                    f"result_cache bound must be >= 0 (0 disables), got {result_cache}"
+                )
+            self._results = ResultCache(result_cache) if result_cache > 0 else None
+        else:
+            self._results = result_cache
+        self._cache.add_invalidation_listener(self._on_factor_invalidation)
         #: new system identity -> (old system identity, old snapshot, new snapshot)
         self._lineage: Dict[
             Hashable, Tuple[Hashable, GraphSnapshot, GraphSnapshot]
         ] = {}
+        #: non-snapshot system identities (sequence tokens) -> their snapshot,
+        #: so policy reuse can score cached systems whose key is a token.
+        self._snapshots: Dict[Hashable, GraphSnapshot] = {}
+        #: memoized candidate-scan outcomes, valid until the cache changes:
+        #: (kind, damping, child snapshot) -> (parent key, decision) or None
+        self._reuse_memo: "OrderedDict[Tuple, Optional[Tuple[SystemKey, ReuseDecision]]]" = (
+            OrderedDict()
+        )
+
+    def _on_factor_invalidation(self, key: SystemKey) -> None:
+        """React to a factor-cache change: drop derived answers, stale scans.
+
+        Registered as a (weakly held) invalidation listener: any install,
+        eviction or steal changes the candidate set the reuse policy scans,
+        so the scan memo is discarded wholesale, and the result cache drops
+        the answers derived from the affected key.
+        """
+        if self._results is not None:
+            self._results.invalidate_system(key)
+        self._reuse_memo.clear()
 
     @property
     def cache(self) -> FactorCache:
         """The planner's factor cache (shared, seedable, inspectable)."""
         return self._cache
 
+    @property
+    def policy(self) -> "ReusePolicy":
+        """The reuse policy gating approximate answers (step 2)."""
+        return self._policy
+
+    @property
+    def result_cache(self) -> Optional[ResultCache]:
+        """The answer-level cache, or ``None`` when disabled."""
+        return self._results
+
     def cache_info(self) -> Dict[str, int]:
-        """Lifetime hit/miss/refresh/size counters of the factor cache."""
-        return self._cache.cache_info()
+        """Lifetime counters of the factor cache plus the result cache.
+
+        Factor-cache counters keep their historical names; result-cache
+        counters are prefixed ``result_`` (all zero when result caching is
+        disabled).
+        """
+        info = self._cache.cache_info()
+        result_info = (
+            self._results.cache_info()
+            if self._results is not None
+            else {"hits": 0, "misses": 0, "evictions": 0, "invalidations": 0, "size": 0}
+        )
+        info.update({f"result_{name}": value for name, value in result_info.items()})
+        return info
+
+    def bind_snapshot(self, system: Hashable, snapshot: GraphSnapshot) -> None:
+        """Declare which snapshot a token-keyed system identity describes.
+
+        Sequence-level planners key their seeded factors by index token, not
+        by snapshot; binding the token lets the reuse policy score those
+        systems as candidates for answering similar snapshots.  Snapshot
+        identities need no binding (they carry their own graph).
+        """
+        if not isinstance(snapshot, GraphSnapshot):
+            raise MeasureError("bind_snapshot takes the system's GraphSnapshot")
+        if isinstance(system, GraphSnapshot):
+            return
+        self._snapshots[system] = snapshot
+        # A new binding can make a candidate scoreable: stale negative scans
+        # must not outlive it.
+        self._reuse_memo.clear()
+
+    def _prune_stale_bindings(self) -> None:
+        """Drop snapshot bindings no cached key can use any more.
+
+        A long-lived planner over an evolving chain accumulates bindings
+        (each holding a full edge set) while a bounded factor cache keeps
+        only the recent keys; once the binding map clearly outgrows the
+        cache, everything not backed by a cached key's system is swept.  The
+        sweep only ever disables *candidate scoring* for systems that would
+        need re-seeding anyway — lineage refresh keeps its own snapshots and
+        is unaffected.
+        """
+        if len(self._snapshots) <= max(32, 2 * len(self._cache)):
+            return
+        live = {key.system for key in self._cache.keys()}
+        self._snapshots = {
+            system: snapshot
+            for system, snapshot in self._snapshots.items()
+            if system in live
+        }
 
     def register_evolution(
         self,
@@ -427,6 +814,12 @@ class QueryPlanner:
         from a sequence decomposition.  Registering a lineage is the per-pair
         opt-in to refresh (answers match a cold factorization within
         numerical tolerance, not bitwise).
+
+        Lineage entries live for the planner's lifetime (each holds both
+        snapshots), so register per-pair evolutions judiciously on long-lived
+        planners — for an unboundedly evolving stream prefer
+        ``auto_refresh`` or a :class:`~repro.policy.qc.QCPolicy`, which need
+        no per-pair state.
         """
         if not isinstance(old, GraphSnapshot) or not isinstance(new, GraphSnapshot):
             raise MeasureError(
@@ -442,6 +835,12 @@ class QueryPlanner:
             old,
             new,
         )
+        # Lineage doubles as a snapshot binding for token identities, so the
+        # reuse policy can score either end as a candidate.
+        if old_system is not None:
+            self.bind_snapshot(old_system, old)
+        if new_system is not None:
+            self.bind_snapshot(new_system, new)
 
     # ------------------------------------------------------------------ #
     # Planning
@@ -484,16 +883,18 @@ class QueryPlanner:
     # Execution
     # ------------------------------------------------------------------ #
     def execute(self, plan: QueryPlan) -> BatchResult:
-        """Run a plan: refresh or factorize miss groups once, batch-solve all.
+        """Run a plan through the reuse precedence, then batch-solve.
 
-        Miss groups first consult the snapshot lineage (explicit
+        Miss groups walk the documented precedence: policy reuse (step 2,
+        approximate policies only) answers a group from a cached similar
+        system's factors outright; the snapshot lineage (explicit
         :meth:`register_evolution` entries, or the cached-snapshot index when
-        ``auto_refresh`` is on): a miss whose snapshot evolved from a cached
-        system by a small delta is answered by a Bennett refresh of that
-        system's factors; everything else — no lineage, oversized delta,
+        ``auto_refresh`` is on) Bennett-refreshes a cached parent's factors;
+        everything else — no candidate, gates failed, oversized delta,
         pattern violation, pivot breakdown — cold-factorizes exactly as
         before.
         """
+        self._prune_stale_bindings()
         systems: Dict[SystemKey, FactorizedSystem] = {}
         misses: List[PlannedGroup] = []
         for group in plan.groups:
@@ -502,30 +903,31 @@ class QueryPlanner:
                 misses.append(group)
             else:
                 systems[group.key] = cached
-        refreshed, cold = self._refresh_misses(misses)
-        # Use the refreshed / freshly factorized systems directly: a
+        reused, records, remaining = self._policy_reuse(misses)
+        refreshed, cold = self._refresh_misses(remaining)
+        # Use the reused / refreshed / freshly factorized systems directly: a
         # size-bounded cache may already have evicted early ones by the time
         # the batch solves.
+        systems.update(
+            {key: system for key, (_, system) in reused.items()}
+        )
         systems.update(refreshed)
         systems.update(self._factorize(cold))
         results: List[Optional[np.ndarray]] = [None] * len(plan.batch)
+        result_hits = 0
         for group in plan.groups:
-            system = systems[group.key]
-            block = np.column_stack([
-                get_spec(query.measure).build_rhs(
-                    query.snapshot, query.damping, query.param_dict
-                )
-                for query in group.queries
-            ])
-            solutions = system.solve_many(block)
-            for column, (position, query) in enumerate(
-                zip(group.positions, group.queries)
-            ):
-                spec = get_spec(query.measure)
-                results[position] = spec.finalize(
-                    solutions[:, column], query.snapshot, query.damping,
-                    query.param_dict,
-                )
+            # Approximate answers are cached under the PARENT's key (they
+            # are, verbatim, that system's answers), never under the miss
+            # key — a later exact answer for the miss key must not be
+            # shadowed by an approximation.
+            reuse = reused.get(group.key)
+            result_hits += self._answer_group(
+                group,
+                systems[group.key],
+                results,
+                cache_base=group.key if reuse is None else reuse[0],
+                approximate=reuse is not None,
+            )
         for direct in plan.direct:
             # Copy: the plan may be executed again, and callers own their
             # result arrays (the group path allocates fresh columns too).
@@ -537,12 +939,253 @@ class QueryPlanner:
             cache_hits=len(plan.groups) - len(misses),
             direct_answers=len(plan.direct),
             refreshes=len(refreshed),
+            qc_reuses=len(reused),
+            result_hits=result_hits,
         )
-        return BatchResult(results=list(results), stats=stats)
+        return BatchResult(
+            results=list(results), stats=stats, approximations=tuple(records)
+        )
 
     def run(self, batch: Union[QueryBatch, Sequence[Query]]) -> BatchResult:
         """Plan and execute a batch in one call."""
         return self.execute(self.plan(batch))
+
+    # ------------------------------------------------------------------ #
+    # Group answering (vectorized RHS assembly + result cache)
+    # ------------------------------------------------------------------ #
+    def _assemble_rhs_block(self, group: PlannedGroup) -> np.ndarray:
+        """Build the group's ``(n, k)`` RHS block, vectorized where possible.
+
+        Consecutive queries of the same measure against the same snapshot
+        form a *run*; runs whose spec declares ``build_rhs_block`` are
+        assembled in one vectorized call (bitwise-equal per column to the
+        scalar builder, by the spec contract), everything else falls back to
+        per-query ``build_rhs``.  The group's damping is constant (it is part
+        of the system key).
+        """
+        queries = group.queries
+        block = np.empty((queries[0].snapshot.n, len(queries)), dtype=float)
+        start = 0
+        while start < len(queries):
+            head = queries[start]
+            spec = get_spec(head.measure)
+            stop = start + 1
+            while (
+                stop < len(queries)
+                and queries[stop].measure == head.measure
+                and (
+                    queries[stop].snapshot is head.snapshot
+                    or queries[stop].snapshot == head.snapshot
+                )
+            ):
+                stop += 1
+            if spec.build_rhs_block is not None and stop - start > 1:
+                block[:, start:stop] = spec.build_rhs_block(
+                    head.snapshot,
+                    head.damping,
+                    [query.param_dict for query in queries[start:stop]],
+                )
+            else:
+                for column in range(start, stop):
+                    query = queries[column]
+                    block[:, column] = spec.build_rhs(
+                        query.snapshot, query.damping, query.param_dict
+                    )
+            start = stop
+        return block
+
+    @staticmethod
+    def _result_key(
+        group_key: SystemKey, spec: MeasureSpec, query: Query, rhs: np.ndarray
+    ) -> ResultKey:
+        """Key one finalized answer: system + finalize identity + RHS digest.
+
+        Specs without a transform or normalization return the raw solution —
+        a pure function of ``(system, rhs)`` — so their answers are shared
+        across measures.  Transforming/normalizing specs add their name and
+        parameters to the key.
+        """
+        fingerprint = hashlib.blake2b(rhs.tobytes(), digest_size=16).digest()
+        if spec.transform is None and not spec.normalize:
+            return (group_key, None, fingerprint)
+        return (group_key, (spec.name, query.params), fingerprint)
+
+    def _answer_group(
+        self,
+        group: PlannedGroup,
+        system: FactorizedSystem,
+        results: List[Optional[np.ndarray]],
+        cache_base: SystemKey,
+        approximate: bool,
+    ) -> int:
+        """Answer one group into ``results``; return the result-cache hits.
+
+        Queries whose finalized answer is already in the result cache skip
+        the solve; the rest share one batched substitution sweep (solving a
+        column subset is bitwise identical to solving the full block — the
+        batched kernels treat columns independently).
+
+        ``cache_base`` is the system key answers are cached under: the
+        group's own key normally, the *parent's* key for policy-reused
+        (``approximate``) groups — a pure spec's answer from the parent's
+        factors is, byte for byte, the parent's own answer for that RHS, so
+        the entries are shared with the parent's exact traffic and repeated
+        approximate batches skip the solve.  Specs with a transform or
+        normalization bypass the cache in approximate groups (their finalize
+        step may read the query's own snapshot).  Stores require the base
+        key's factors to still be cached — a bounded factor cache may have
+        evicted them mid-batch, and an entry stored after its key's
+        invalidation event would outlive its factors.
+        """
+        block = self._assemble_rhs_block(group)
+        answers: Dict[int, np.ndarray] = {}
+        keys: List[Optional[ResultKey]] = [None] * group.size
+        pending: List[int] = []
+        hits = 0
+        if self._results is not None:
+            for column, query in enumerate(group.queries):
+                spec = get_spec(query.measure)
+                if approximate and (spec.transform is not None or spec.normalize):
+                    pending.append(column)
+                    continue
+                key = self._result_key(cache_base, spec, query, block[:, column])
+                keys[column] = key
+                cached = self._results.lookup(key)
+                if cached is None:
+                    pending.append(column)
+                else:
+                    answers[column] = cached
+                    hits += 1
+        else:
+            pending = list(range(group.size))
+        if pending:
+            storable = self._results is not None and cache_base in self._cache
+            sub_block = block if len(pending) == group.size else block[:, pending]
+            solutions = system.solve_many(sub_block)
+            for offset, column in enumerate(pending):
+                query = group.queries[column]
+                spec = get_spec(query.measure)
+                answer = spec.finalize(
+                    solutions[:, offset], query.snapshot, query.damping,
+                    query.param_dict,
+                )
+                answers[column] = answer
+                if storable and keys[column] is not None:
+                    self._results.store(keys[column], answer)
+        for column, position in enumerate(group.positions):
+            results[position] = answers[column]
+        return hits
+
+    # ------------------------------------------------------------------ #
+    # Policy reuse (precedence step 2)
+    # ------------------------------------------------------------------ #
+    def _snapshot_of(self, key: SystemKey) -> Optional[GraphSnapshot]:
+        """The graph a cached key's system was composed from, if known."""
+        if isinstance(key.system, GraphSnapshot):
+            return key.system
+        return self._snapshots.get(key.system)
+
+    def _policy_reuse(
+        self, groups: Sequence[PlannedGroup]
+    ) -> Tuple[
+        Dict[SystemKey, Tuple[SystemKey, FactorizedSystem]],
+        List[ApproximationRecord],
+        List[PlannedGroup],
+    ]:
+        """Answer miss groups from similar cached systems, where the policy allows.
+
+        Returns the borrowed ``(parent key, system)`` pairs keyed by the
+        *miss* group's key (they are deliberately NOT installed in the
+        factor cache — the cache maps a key to factors of *that* system, and
+        aliasing would turn a bounded approximation into a silent cache
+        hit), the audit records, and the groups that fall through to
+        refresh / cold factorization.
+        """
+        if not groups or self._policy.is_exact:
+            return {}, [], list(groups)
+        reused: Dict[SystemKey, Tuple[SystemKey, FactorizedSystem]] = {}
+        records: List[ApproximationRecord] = []
+        remaining: List[PlannedGroup] = []
+        for group in groups:
+            found = self._reuse_candidate(group)
+            if found is None:
+                remaining.append(group)
+                continue
+            parent_key, decision = found
+            system = self._cache.peek(parent_key)
+            if system is None:  # pragma: no cover - memo cleared on eviction
+                remaining.append(group)
+                continue
+            # Freshen recency (the parent is in active use) without touching
+            # the pinned per-group hit/miss accounting.
+            self._cache.touch(parent_key)
+            reused[group.key] = (parent_key, system)
+            records.append(ApproximationRecord(
+                positions=group.positions,
+                system=group.key.system,
+                parent_system=parent_key.system,
+                similarity=decision.similarity,
+                loss_estimate=decision.loss_estimate,
+                policy=self._policy.name,
+            ))
+        return reused, records, remaining
+
+    #: Bound on the candidate-scan memo (distinct (kind, damping, child)
+    #: combinations remembered between cache changes).
+    _REUSE_MEMO_LIMIT = 128
+
+    def _reuse_candidate(
+        self, group: PlannedGroup
+    ) -> Optional[Tuple[SystemKey, "ReuseDecision"]]:
+        """Scan cached systems for the policy's best admissible stand-in.
+
+        Only kind-composed keys participate (a custom matrix builder is
+        opaque to similarity and loss scoring, and matrix parameters like the
+        hitting-time target change the system beyond the snapshot).  The best
+        candidate is the one the policy scores highest (similarity, then
+        loss); ties keep the first-seen candidate, so the scan is
+        deterministic for a given cache state.
+
+        Scan outcomes — including "no candidate" — are memoized per
+        ``(kind, damping, child snapshot)`` until the factor cache changes
+        (any install or eviction clears the memo through the invalidation
+        listener, as does a new snapshot binding), so steady-state repeated
+        batches pay the full delta-scoring scan once, not per batch.
+        """
+        key = group.key
+        if key.matrix_builder is not None or key.matrix_params:
+            return None
+        child = group.queries[0].snapshot
+        memo_key = (key.kind, key.damping, child)
+        if memo_key in self._reuse_memo:
+            self._reuse_memo.move_to_end(memo_key)
+            return self._reuse_memo[memo_key]
+        best: Optional[Tuple[SystemKey, "ReuseDecision"]] = None
+        for candidate in self._cache.keys():
+            if (
+                candidate.kind is not key.kind
+                or candidate.damping != key.damping
+                or candidate.matrix_params
+                or candidate.matrix_builder is not None
+            ):
+                continue
+            parent = self._snapshot_of(candidate)
+            if parent is None or parent.n != child.n:
+                continue
+            if not self._policy.prefilter(parent, child):
+                continue
+            delta = GraphDelta.between(parent, child)
+            decision = self._policy.evaluate_reuse(
+                parent, child, kind=key.kind, damping=key.damping, delta=delta
+            )
+            if decision is None:
+                continue
+            if best is None or decision.preferable_to(best[1]):
+                best = (candidate, decision)
+        self._reuse_memo[memo_key] = best
+        while len(self._reuse_memo) > self._REUSE_MEMO_LIMIT:
+            self._reuse_memo.popitem(last=False)
+        return best
 
     # ------------------------------------------------------------------ #
     # Delta-refresh fan-out

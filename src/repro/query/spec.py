@@ -23,16 +23,17 @@ their per-index factors are reused exactly as stored.
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Dict, Hashable, Mapping, Optional, Tuple
+from typing import Callable, Dict, Hashable, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.errors import MeasureError
+from repro.errors import DimensionError, MeasureError
 from repro.graphs.matrixkind import (
     DEFAULT_DAMPING,
     MatrixKind,
     hitting_time_matrix,
     measure_matrix,
+    row_stochastic_matrix,
 )
 from repro.graphs.snapshot import GraphSnapshot
 from repro.lu.crout import crout_decompose
@@ -44,6 +45,14 @@ from repro.sparse.vector import seed_vector, unit_vector
 
 #: ``(snapshot, damping, params) -> b`` — the measure's right-hand side.
 RhsBuilder = Callable[[GraphSnapshot, float, Mapping[str, object]], np.ndarray]
+
+#: ``(snapshot, damping, params_list) -> B`` — a whole ``(n, k)`` RHS block at
+#: once.  Column ``c`` must be bitwise identical to ``build_rhs`` of the
+#: ``c``-th parameter set; the planner uses it to assemble large warm-path
+#: batches without a per-query Python loop.
+RhsBlockBuilder = Callable[
+    [GraphSnapshot, float, Sequence[Mapping[str, object]]], np.ndarray
+]
 
 #: ``(snapshot, damping, params) -> A`` — overrides the kind-based composition.
 MatrixBuilder = Callable[[GraphSnapshot, float, Mapping[str, object]], SparseMatrix]
@@ -68,6 +77,16 @@ class MeasureSpec:
         so measures with equal ``(snapshot, kind, damping)`` share factors.
     build_rhs:
         Builds the right-hand side from ``(snapshot, damping, params)``.
+    build_rhs_block:
+        Optional vectorized builder assembling the whole ``(n, k)`` RHS block
+        of ``k`` same-snapshot queries at once.  Contract: column ``c`` is
+        bitwise identical to ``build_rhs`` of the ``c``-th parameter set.
+        The planner falls back to per-query ``build_rhs`` when absent.
+    required_params:
+        Parameter names a query must supply; :func:`make_query` validates
+        them eagerly with a descriptive error instead of letting a missing
+        parameter surface as a ``KeyError`` mid-execute (matrix parameters
+        are additionally enforced at system-key time).
     matrix_params:
         Names of query parameters that select the *matrix* (not just the
         RHS), e.g. the hitting-time target.  They become part of the system
@@ -91,6 +110,8 @@ class MeasureSpec:
     name: str
     kind: MatrixKind
     build_rhs: RhsBuilder
+    build_rhs_block: Optional[RhsBlockBuilder] = None
+    required_params: Tuple[str, ...] = ()
     matrix_params: Tuple[str, ...] = ()
     build_matrix: Optional[MatrixBuilder] = None
     transform: Optional[Transform] = None
@@ -229,8 +250,13 @@ def make_query(
     system_token: Optional[Hashable] = None,
     **params: object,
 ) -> Query:
-    """Build a :class:`Query`, validating the measure name eagerly."""
-    get_spec(measure)
+    """Build a :class:`Query`, validating measure name and required params eagerly."""
+    spec = get_spec(measure)
+    for name in spec.required_params:
+        if name not in params:
+            raise MeasureError(
+                f"measure {measure!r} requires parameter {name!r}"
+            )
     return Query(
         measure=measure,
         snapshot=snapshot,
@@ -453,6 +479,125 @@ def _hitting_matrix(
     return hitting_time_matrix(snapshot, int(params["target"]), damping=damping)
 
 
+# ---------------------------------------------------------------------- #
+# Vectorized RHS blocks (bitwise-equal to the scalar builders per column)
+# ---------------------------------------------------------------------- #
+def _check_indices(
+    indices: np.ndarray, n: int, describe: Callable[[int], Exception]
+) -> None:
+    """Raise ``describe(first_bad_index)`` when any index falls outside [0, n).
+
+    One bounds check shared by every block builder; ``describe`` supplies
+    the exception so each column keeps the exact error class and message of
+    its scalar builder.
+    """
+    if indices.size and (indices.min() < 0 or indices.max() >= n):
+        bad = int(indices[(indices < 0) | (indices >= n)][0])
+        raise describe(bad)
+
+
+def _rwr_rhs_block(
+    snapshot: GraphSnapshot, damping: float, params_list: Sequence[Mapping]
+) -> np.ndarray:
+    starts = np.fromiter(
+        (int(p["start_node"]) for p in params_list),
+        dtype=np.int64,
+        count=len(params_list),
+    )
+    _check_indices(starts, snapshot.n, lambda bad: DimensionError(
+        f"index {bad} out of bounds for a length-{snapshot.n} vector"
+    ))
+    block = np.zeros((snapshot.n, len(params_list)), dtype=float)
+    block[starts, np.arange(len(params_list))] = 1.0 - damping
+    return block
+
+
+def _ppr_rhs_block(
+    snapshot: GraphSnapshot, damping: float, params_list: Sequence[Mapping]
+) -> np.ndarray:
+    n = snapshot.n
+    rows = []
+    columns = []
+    values = []
+    for column, params in enumerate(params_list):
+        seeds = [int(s) for s in params["seeds"]]
+        if not seeds:
+            raise DimensionError("seed set must not be empty")
+        # Same accumulated share as seed_vector: repeated seeds add the same
+        # float repeatedly, in the same order, so the column stays bitwise
+        # identical to the scalar builder.
+        share = (1.0 - damping) / len(seeds)
+        rows.extend(seeds)
+        columns.extend([column] * len(seeds))
+        values.extend([share] * len(seeds))
+    row_idx = np.asarray(rows, dtype=np.int64)
+    _check_indices(row_idx, n, lambda bad: DimensionError(
+        f"seed {bad} out of bounds for a length-{n} vector"
+    ))
+    block = np.zeros((n, len(params_list)), dtype=float)
+    np.add.at(block, (row_idx, np.asarray(columns, dtype=np.int64)),
+              np.asarray(values, dtype=float))
+    return block
+
+
+def _uniform_teleport_rhs_block(
+    snapshot: GraphSnapshot, damping: float, params_list: Sequence[Mapping]
+) -> np.ndarray:
+    return np.full(
+        (snapshot.n, len(params_list)), (1.0 - damping) / snapshot.n, dtype=float
+    )
+
+
+def _hitting_rhs_block(
+    snapshot: GraphSnapshot, damping: float, params_list: Sequence[Mapping]
+) -> np.ndarray:
+    targets = np.fromiter(
+        (int(p["target"]) for p in params_list),
+        dtype=np.int64,
+        count=len(params_list),
+    )
+    _check_indices(targets, snapshot.n, lambda bad: MeasureError(
+        f"target node {bad} out of bounds for n={snapshot.n}"
+    ))
+    block = np.zeros((snapshot.n, len(params_list)), dtype=float)
+    block[targets, np.arange(len(params_list))] = 1.0
+    return block
+
+
+# ---------------------------------------------------------------------- #
+# Shared-system hitting time (one factorization serves every target)
+# ---------------------------------------------------------------------- #
+def _hitting_shared_matrix(
+    snapshot: GraphSnapshot, damping: float, params: Mapping
+) -> SparseMatrix:
+    """The *unmasked* DHT system ``I - d P`` — target independent.
+
+    The per-target masked system is a rank-1 update of this one:
+    ``A_t = A + e_t (d p_t)ᵀ`` (masking row ``t`` removes exactly the
+    ``-d p_t`` row).  Sherman–Morrison collapses the masked solve to
+
+        ``h = y / y[t]``  with  ``y = A⁻¹ e_t``,
+
+    because row ``t`` of ``A y = e_t`` reads ``y_t - d p_tᵀ y = 1``, i.e.
+    ``1 + d p_tᵀ y = y_t`` — precisely the Sherman–Morrison denominator.
+    ``y_t >= 1`` always (``A⁻¹ = Σ dᵏ Pᵏ >= 0``), so the division is safe.
+    The target therefore moves from the *matrix* to the RHS + transform, and
+    every target shares one :class:`SystemKey` — the planner answers ``k``
+    targets with one factorization and one batched sweep.
+    """
+    if not 0.0 < damping < 1.0:
+        raise MeasureError(f"damping factor must lie in (0, 1), got {damping}")
+    transition = row_stochastic_matrix(snapshot)
+    return SparseMatrix.identity(snapshot.n).subtract(transition.scale(damping))
+
+
+def _hitting_shared_transform(
+    x: np.ndarray, snapshot: GraphSnapshot, damping: float, params: Mapping
+) -> np.ndarray:
+    target = int(params["target"])
+    return x / x[target]
+
+
 def _salsa_shortcut(
     snapshot: GraphSnapshot, damping: float, params: Mapping
 ) -> Optional[np.ndarray]:
@@ -465,6 +610,8 @@ register_spec(MeasureSpec(
     name="rwr",
     kind=MatrixKind.RANDOM_WALK,
     build_rhs=_rwr_rhs,
+    build_rhs_block=_rwr_rhs_block,
+    required_params=("start_node",),
     description="Random Walk with Restart from one start node",
 ))
 
@@ -472,6 +619,8 @@ register_spec(MeasureSpec(
     name="ppr",
     kind=MatrixKind.RANDOM_WALK,
     build_rhs=_ppr_rhs,
+    build_rhs_block=_ppr_rhs_block,
+    required_params=("seeds",),
     description="Personalized PageRank for one seed set",
 ))
 
@@ -479,6 +628,7 @@ register_spec(MeasureSpec(
     name="pagerank",
     kind=MatrixKind.RANDOM_WALK,
     build_rhs=_uniform_teleport_rhs,
+    build_rhs_block=_uniform_teleport_rhs_block,
     description="PageRank with uniform teleportation",
 ))
 
@@ -486,15 +636,32 @@ register_spec(MeasureSpec(
     name="hitting_time",
     kind=MatrixKind.RANDOM_WALK,
     build_rhs=_hitting_rhs,
+    build_rhs_block=_hitting_rhs_block,
+    required_params=("target",),
     matrix_params=("target",),
     build_matrix=_hitting_matrix,
     description="Discounted hitting time towards one target node",
 ))
 
 register_spec(MeasureSpec(
+    name="hitting_time_shared",
+    kind=MatrixKind.RANDOM_WALK,
+    build_rhs=_hitting_rhs,
+    build_rhs_block=_hitting_rhs_block,
+    required_params=("target",),
+    build_matrix=_hitting_shared_matrix,
+    transform=_hitting_shared_transform,
+    description=(
+        "Discounted hitting time via the shared unmasked system "
+        "(one factorization serves every target)"
+    ),
+))
+
+register_spec(MeasureSpec(
     name="salsa_authority",
     kind=MatrixKind.SALSA_AUTHORITY,
     build_rhs=_uniform_teleport_rhs,
+    build_rhs_block=_uniform_teleport_rhs_block,
     shortcut=_salsa_shortcut,
     description="Damped SALSA authority scores",
 ))
@@ -503,6 +670,7 @@ register_spec(MeasureSpec(
     name="salsa_hub",
     kind=MatrixKind.SALSA_HUB,
     build_rhs=_uniform_teleport_rhs,
+    build_rhs_block=_uniform_teleport_rhs_block,
     shortcut=_salsa_shortcut,
     description="Damped SALSA hub scores",
 ))

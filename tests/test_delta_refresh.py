@@ -64,6 +64,7 @@ MEASURE_PARAMS = {
     "rwr": {"start_node": 0},
     "ppr": {"seeds": (0, 1)},
     "hitting_time": {"target": 0},
+    "hitting_time_shared": {"target": 0},
 }
 
 

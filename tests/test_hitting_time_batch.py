@@ -1,0 +1,130 @@
+"""Many-target hitting time on one shared factorization.
+
+The masked per-target DHT system is a rank-1 update of the unmasked
+``I - d P``; Sherman–Morrison reduces each masked solve to ``h = y / y[t]``
+with ``y = A⁻¹ e_t`` (see :mod:`repro.measures.hitting_time`).  Pinned here:
+
+* the shared-system block matches the per-target driver to numerical
+  tolerance on every column (differential, incl. hypothesis sweeps over
+  random graphs with unreachable nodes and dangling targets);
+* the planner answers ``k`` shared-hitting targets with **one** group and
+  **one** factorization, where the legacy spec needs ``k``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.snapshot import GraphSnapshot
+from repro.measures.hitting_time import (
+    discounted_hitting_scores,
+    discounted_hitting_scores_many,
+)
+from repro.query import QueryBatch, QueryPlanner
+from repro.query.spec import evaluate, make_query
+
+TOLERANCE = 1e-9
+
+
+def random_snapshot(rng: np.random.Generator, n: int, edges: int) -> GraphSnapshot:
+    pool = set()
+    attempts = 0
+    while len(pool) < edges and attempts < 50 * edges:
+        u, v = rng.integers(0, n, size=2)
+        attempts += 1
+        if u != v:
+            pool.add((int(u), int(v)))
+    return GraphSnapshot(n, pool, directed=True)
+
+
+class TestDifferential:
+    def test_all_targets_match_per_target_path(self, tiny_graph):
+        targets = list(range(tiny_graph.n))
+        block = discounted_hitting_scores_many(tiny_graph, targets)
+        assert block.shape == (tiny_graph.n, tiny_graph.n)
+        for column, target in enumerate(targets):
+            reference = discounted_hitting_scores(tiny_graph, target)
+            assert np.max(np.abs(block[:, column] - reference)) < TOLERANCE
+
+    def test_dangling_target_and_unreachable_nodes(self):
+        # Node 3 has no out-edges (dangling); node 4 is isolated.
+        snapshot = GraphSnapshot(5, [(0, 1), (1, 2), (2, 0), (2, 3)])
+        block = discounted_hitting_scores_many(snapshot, [3, 0])
+        for column, target in enumerate([3, 0]):
+            reference = discounted_hitting_scores(snapshot, target)
+            assert np.max(np.abs(block[:, column] - reference)) < TOLERANCE
+        # the isolated node can reach nothing: score 0 towards both targets
+        assert block[4, 0] == 0.0 and block[4, 1] == 0.0
+        # the target itself always scores 1
+        assert block[3, 0] == pytest.approx(1.0)
+        assert block[0, 1] == pytest.approx(1.0)
+
+    def test_empty_target_list(self, tiny_graph):
+        block = discounted_hitting_scores_many(tiny_graph, [])
+        assert block.shape == (tiny_graph.n, 0)
+
+    def test_non_default_damping(self, tiny_graph):
+        block = discounted_hitting_scores_many(tiny_graph, [2, 5], damping=0.6)
+        for column, target in enumerate([2, 5]):
+            reference = discounted_hitting_scores(tiny_graph, target, damping=0.6)
+            assert np.max(np.abs(block[:, column] - reference)) < TOLERANCE
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        damping=st.sampled_from([0.5, 0.85, 0.95]),
+    )
+    def test_random_graphs_differential(self, seed, damping):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(5, 25))
+        snapshot = random_snapshot(rng, n, int(rng.integers(n, 4 * n)))
+        targets = sorted(rng.choice(n, size=min(4, n), replace=False).tolist())
+        block = discounted_hitting_scores_many(snapshot, targets, damping=damping)
+        for column, target in enumerate(targets):
+            reference = discounted_hitting_scores(snapshot, target, damping=damping)
+            assert np.max(np.abs(block[:, column] - reference)) < TOLERANCE
+
+
+class TestPlannerIntegration:
+    def test_shared_targets_form_one_group(self, tiny_graph):
+        shared = QueryBatch()
+        legacy = QueryBatch()
+        for target in range(tiny_graph.n):
+            shared.add_hitting_time(tiny_graph, target, shared=True)
+            legacy.add_hitting_time(tiny_graph, target)
+        shared_outcome = QueryPlanner().run(shared)
+        assert shared_outcome.stats.groups == 1
+        assert shared_outcome.stats.factorizations == 1
+        legacy_outcome = QueryPlanner().run(legacy)
+        assert legacy_outcome.stats.groups == tiny_graph.n
+        assert legacy_outcome.stats.factorizations == tiny_graph.n
+        for left, right in zip(shared_outcome, legacy_outcome):
+            assert np.max(np.abs(left - right)) < TOLERANCE
+
+    def test_missing_target_rejected_at_query_construction(self, tiny_graph):
+        from repro.errors import MeasureError
+
+        with pytest.raises(MeasureError, match="requires parameter 'target'"):
+            make_query("hitting_time_shared", tiny_graph)
+        with pytest.raises(MeasureError, match="requires parameter 'target'"):
+            make_query("hitting_time", tiny_graph)
+        with pytest.raises(MeasureError, match="requires parameter 'start_node'"):
+            make_query("rwr", tiny_graph)
+        with pytest.raises(MeasureError, match="requires parameter 'seeds'"):
+            make_query("ppr", tiny_graph)
+
+    def test_single_query_engine_matches_driver(self, tiny_graph):
+        answer = evaluate(make_query("hitting_time_shared", tiny_graph, target=3))
+        block = discounted_hitting_scores_many(tiny_graph, [3])
+        assert answer.tobytes() == block[:, 0].tobytes()
+
+    def test_shared_and_masked_never_share_a_group(self, tiny_graph):
+        batch = (QueryBatch()
+                 .add_hitting_time(tiny_graph, 0, shared=True)
+                 .add_hitting_time(tiny_graph, 0))
+        outcome = QueryPlanner().run(batch)
+        assert outcome.stats.groups == 2
+        assert np.max(np.abs(outcome[0] - outcome[1])) < TOLERANCE

@@ -204,11 +204,15 @@ class TestGroupingAndCache:
         assert planner.cache_info() == {
             "hits": 0, "misses": 5, "evictions": 0,
             "refreshes": 0, "refresh_fallbacks": 0, "size": 5,
+            "result_hits": 0, "result_misses": 8, "result_evictions": 0,
+            "result_invalidations": 0, "result_size": 8,
         }
-        # Second run: pure cache hits, zero factorizations.
+        # Second run: pure cache hits, zero factorizations, and every query
+        # short-circuits through the result cache.
         again = planner.run(batch)
         assert again.stats.factorizations == 0
         assert again.stats.cache_hits == 5
+        assert again.stats.result_hits == 8
         assert planner.cache_info()["misses"] == 5
         for first, second in zip(outcome, again):
             assert first.tobytes() == second.tobytes()
@@ -455,6 +459,73 @@ class TestSeriesOnPlanner:
         assert outcome.stats.factorizations == 1
         assert outcome.stats.cache_hits == 0
         assert outcome[0].tobytes() == pagerank_scores(egs[0]).tobytes()
+
+
+class TestRhsBlockBuilders:
+    """Vectorized per-group RHS assembly is bitwise-invisible (warm path)."""
+
+    CASES = {
+        "rwr": [{"start_node": s} for s in (0, 3, 6, 3, 1)],
+        "ppr": [{"seeds": seeds} for seeds in ((0, 2), (4,), (1, 1, 5), (6, 0, 3))],
+        "pagerank": [{} for _ in range(4)],
+        "hitting_time": [{"target": t} for t in (0, 2, 5)],
+        "hitting_time_shared": [{"target": t} for t in (1, 4, 4)],
+        "salsa_authority": [{} for _ in range(3)],
+        "salsa_hub": [{} for _ in range(2)],
+    }
+
+    @pytest.mark.parametrize("measure", sorted(CASES))
+    def test_block_builder_bitwise_equals_scalar(self, tiny_graph, measure):
+        spec = get_spec(measure)
+        assert spec.build_rhs_block is not None
+        params_list = self.CASES[measure]
+        for damping in (0.85, 0.5):
+            block = spec.build_rhs_block(tiny_graph, damping, params_list)
+            scalar = np.column_stack([
+                spec.build_rhs(tiny_graph, damping, params) for params in params_list
+            ])
+            assert block.tobytes() == scalar.tobytes()
+
+    def test_block_builders_propagate_bounds_errors(self, tiny_graph):
+        from repro.errors import DimensionError
+
+        with pytest.raises(DimensionError):
+            get_spec("rwr").build_rhs_block(
+                tiny_graph, 0.85, [{"start_node": tiny_graph.n}]
+            )
+        with pytest.raises(DimensionError):
+            get_spec("ppr").build_rhs_block(tiny_graph, 0.85, [{"seeds": ()}])
+        with pytest.raises(MeasureError):
+            get_spec("hitting_time").build_rhs_block(
+                tiny_graph, 0.85, [{"target": -1}]
+            )
+
+    def test_interleaved_measures_in_one_group_stay_bitwise(self, tiny_graph):
+        # rwr/ppr/pagerank share one system key; interleaving them exercises
+        # the run segmentation of the group RHS assembly.
+        batch = (
+            QueryBatch()
+            .add_rwr(tiny_graph, 0)
+            .add_ppr(tiny_graph, [1, 3])
+            .add_rwr(tiny_graph, 4)
+            .add_pagerank(tiny_graph)
+            .add_rwr(tiny_graph, 2)
+            .add_rwr(tiny_graph, 6)
+            .add_ppr(tiny_graph, [5])
+        )
+        outcome = QueryPlanner(result_cache=0).run(batch)
+        assert outcome.stats.groups == 1
+        for query, answer in zip(batch, outcome):
+            assert answer.tobytes() == evaluate(query).tobytes()
+
+    def test_large_single_measure_group_bitwise(self, tiny_graph):
+        batch = QueryBatch()
+        for start in range(tiny_graph.n):
+            batch.add_rwr(tiny_graph, start)
+        outcome = QueryPlanner(result_cache=0).run(batch)
+        block = rwr_scores_many(tiny_graph, list(range(tiny_graph.n)))
+        for column, answer in enumerate(outcome):
+            assert answer.tobytes() == block[:, column].tobytes()
 
 
 @pytest.mark.slow
