@@ -35,6 +35,7 @@ from repro.query import (
     ResultCache,
     registered_measures,
 )
+from repro.serve import MeasureServer, ServerStats
 from repro.sparse.csr import SparseMatrix
 from repro.sparse.pattern import SparsityPattern
 from repro.sparse.permutation import Ordering, Permutation
@@ -67,4 +68,6 @@ __all__ = [
     "QueryBatch",
     "QueryPlanner",
     "registered_measures",
+    "MeasureServer",
+    "ServerStats",
 ]

@@ -12,6 +12,7 @@ from repro.datasets.registry import (
     available_datasets,
     load_dblp,
     load_patent,
+    load_patent_egs,
     load_synthetic,
     load_wiki,
 )
@@ -30,6 +31,7 @@ __all__ = [
     "load_dblp",
     "load_synthetic",
     "load_patent",
+    "load_patent_egs",
     "available_datasets",
     "DATASET_LOADERS",
 ]

@@ -85,11 +85,26 @@ def load_patent(scale: str = "small") -> PatentDataset:
     return generate_patent_dataset(_PATENT_CONFIGS[scale])
 
 
-#: Names of datasets that yield a plain EGS (the patent dataset carries labels).
+def load_patent_egs(scale: str = "small") -> EvolvingGraphSequence:
+    """Return the patent citation EGS (labels available via :func:`load_patent`).
+
+    This is the registry view of the patent dataset: anything iterating
+    :data:`DATASET_LOADERS` (benchmarks, replay harnesses) gets the plain
+    snapshot sequence; callers needing the company labelling use
+    :func:`load_patent`, which returns the full
+    :class:`~repro.datasets.patent.PatentDataset`.
+    """
+    return load_patent(scale).egs
+
+
+#: Loader per advertised dataset, each yielding an EGS.  Invariant (pinned by
+#: the test-suite): the keys here and in :func:`available_datasets` are
+#: identical, so code iterating the registry never silently skips a dataset.
 DATASET_LOADERS: Dict[str, Callable[[str], EvolvingGraphSequence]] = {
     "wiki": load_wiki,
     "dblp": load_dblp,
     "synthetic": load_synthetic,
+    "patent": load_patent_egs,
 }
 
 

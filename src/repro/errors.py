@@ -54,3 +54,19 @@ class DatasetError(ReproError):
 
 class MeasureError(ReproError):
     """Raised when a graph measure is configured incorrectly."""
+
+
+class FactorizationError(MeasureError):
+    """Raised when one or more planner factor units failed.
+
+    Carries the annotated per-unit failure reports (``unit_id`` plus the
+    failing system's description), so a poisoned query in a large batch is
+    diagnosable instead of surfacing as a bare worker traceback.
+    """
+
+    def __init__(self, failures) -> None:
+        self.failures = tuple(failures)
+        super().__init__(
+            f"{len(self.failures)} factor unit(s) failed: "
+            + "; ".join(self.failures)
+        )

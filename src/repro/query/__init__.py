@@ -32,6 +32,7 @@ from repro.query.spec import (
     MeasureSpec,
     Query,
     SystemKey,
+    canonical_params,
     evaluate,
     evaluate_block,
     get_spec,
@@ -47,6 +48,7 @@ __all__ = [
     "SystemKey",
     "FactorizedSystem",
     "make_query",
+    "canonical_params",
     "system_key",
     "evaluate",
     "evaluate_block",

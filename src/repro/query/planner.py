@@ -58,7 +58,12 @@ from typing import (
 
 import numpy as np
 
-from repro.errors import MeasureError, PatternError, SingularMatrixError
+from repro.errors import (
+    FactorizationError,
+    MeasureError,
+    PatternError,
+    SingularMatrixError,
+)
 from repro.exec.executors import Executor, resolve_executor
 from repro.exec.plan import plan_factor_batch, plan_refresh_batch
 from repro.graphs.delta import GraphDelta
@@ -71,6 +76,7 @@ from repro.query.spec import (
     MeasureSpec,
     Query,
     SystemKey,
+    canonical_params,
     get_spec,
     system_key,
 )
@@ -148,6 +154,9 @@ class FactorCache:
         self._invalidation_listeners: List[
             Callable[[], Optional[Callable[[SystemKey], None]]]
         ] = []
+        self._eviction_listeners: List[
+            Callable[[], Optional[Callable[[SystemKey], None]]]
+        ] = []
 
     def __len__(self) -> int:
         return len(self._systems)
@@ -199,25 +208,51 @@ class FactorCache:
         accumulate; keep the receiving object alive for as long as the
         subscription should fire.  Plain functions are held strongly.
         """
-        if isinstance(listener, types.MethodType):
-            self._invalidation_listeners.append(weakref.WeakMethod(listener))
-        else:
-            self._invalidation_listeners.append(lambda _fn=listener: _fn)
+        self._invalidation_listeners.append(self._hold_listener(listener))
 
-    def _invalidate(self, key: SystemKey) -> None:
+    def add_eviction_listener(self, listener: Callable[[SystemKey], None]) -> None:
+        """Subscribe to key *removals* only (LRU eviction, steal, clear).
+
+        Unlike :meth:`add_invalidation_listener` — which also fires when new
+        factors are installed over a key — this channel fires exactly when a
+        key leaves the cache.  Planners use it to prune per-key bookkeeping
+        (lineage entries, snapshot bindings) that is only useful while the
+        key's system is cached, which is what keeps a long-lived serving
+        planner's registries bounded.  The same weak-holding rules as
+        invalidation listeners apply.
+        """
+        self._eviction_listeners.append(self._hold_listener(listener))
+
+    @staticmethod
+    def _hold_listener(
+        listener: Callable[[SystemKey], None],
+    ) -> Callable[[], Optional[Callable[[SystemKey], None]]]:
+        if isinstance(listener, types.MethodType):
+            return weakref.WeakMethod(listener)
+        return lambda _fn=listener: _fn
+
+    @staticmethod
+    def _fire(
+        listeners: List[Callable[[], Optional[Callable[[SystemKey], None]]]],
+        key: SystemKey,
+    ) -> None:
         dead = False
-        for resolver in self._invalidation_listeners:
+        for resolver in listeners:
             listener = resolver()
             if listener is None:
                 dead = True
                 continue
             listener(key)
         if dead:
-            self._invalidation_listeners = [
-                resolver
-                for resolver in self._invalidation_listeners
-                if resolver() is not None
+            listeners[:] = [
+                resolver for resolver in listeners if resolver() is not None
             ]
+
+    def _invalidate(self, key: SystemKey) -> None:
+        self._fire(self._invalidation_listeners, key)
+
+    def _evicted(self, key: SystemKey) -> None:
+        self._fire(self._eviction_listeners, key)
 
     def _install(self, key: SystemKey, system: FactorizedSystem) -> None:
         self._invalidate(key)
@@ -228,6 +263,7 @@ class FactorCache:
                 evicted, _ = self._systems.popitem(last=False)
                 self._evictions += 1
                 self._invalidate(evicted)
+                self._evicted(evicted)
 
     def seed(self, key: SystemKey, system: FactorizedSystem) -> None:
         """Install a system without touching the counters (pre-population).
@@ -346,6 +382,7 @@ class FactorCache:
         if steal:
             if self._systems.pop(old_key, None) is not None:
                 self._invalidate(old_key)
+                self._evicted(old_key)
         self.commit_refresh(new_key, system)
         return system
 
@@ -362,9 +399,10 @@ class FactorCache:
 
     def clear(self) -> None:
         """Drop every cached system and reset the counters."""
-        for key in tuple(self._systems):
+        while self._systems:
+            key, _ = self._systems.popitem(last=False)
             self._invalidate(key)
-        self._systems.clear()
+            self._evicted(key)
         self._hits = 0
         self._misses = 0
         self._evictions = 0
@@ -703,6 +741,7 @@ class QueryPlanner:
         else:
             self._results = result_cache
         self._cache.add_invalidation_listener(self._on_factor_invalidation)
+        self._cache.add_eviction_listener(self._on_factor_eviction)
         #: new system identity -> (old system identity, old snapshot, new snapshot)
         self._lineage: Dict[
             Hashable, Tuple[Hashable, GraphSnapshot, GraphSnapshot]
@@ -727,6 +766,29 @@ class QueryPlanner:
         if self._results is not None:
             self._results.invalidate_system(key)
         self._reuse_memo.clear()
+
+    def _on_factor_eviction(self, key: SystemKey) -> None:
+        """React to a key leaving the factor cache: prune dead bookkeeping.
+
+        The lineage registry maps a child system to its refresh parent; an
+        entry is only actionable while some cached key still carries the
+        parent's system (``_refresh_parent`` otherwise falls back cold).  So
+        once the *last* cached key of a system is evicted, every lineage
+        entry naming it as parent — and its snapshot binding — is dropped.
+        This is what bounds the registries of a long-lived server admitting
+        updates forever against a size-bounded factor cache: lineage tracks
+        the cache's working set instead of the whole evolution history.
+        """
+        system = key.system
+        if any(cached.system == system for cached in self._cache.keys()):
+            return
+        if any(parent == system for parent, _, _ in self._lineage.values()):
+            self._lineage = {
+                child: entry
+                for child, entry in self._lineage.items()
+                if entry[0] != system
+            }
+        self._snapshots.pop(system, None)
 
     @property
     def cache(self) -> FactorCache:
@@ -1003,12 +1065,17 @@ class QueryPlanner:
         Specs without a transform or normalization return the raw solution —
         a pure function of ``(system, rhs)`` — so their answers are shared
         across measures.  Transforming/normalizing specs add their name and
-        parameters to the key.
+        parameters to the key — in *canonical* spelling
+        (:func:`~repro.query.spec.canonical_params`), so a query built from
+        an ``np.int64`` node id or a ``frozenset`` seed set shares one entry
+        with its plain-``int`` / ``tuple`` twin instead of cold-missing.
+        (:func:`~repro.query.spec.make_query` already canonicalizes; this
+        covers :class:`Query` objects assembled from raw tuples directly.)
         """
         fingerprint = hashlib.blake2b(rhs.tobytes(), digest_size=16).digest()
         if spec.transform is None and not spec.normalize:
             return (group_key, None, fingerprint)
-        return (group_key, (spec.name, query.params), fingerprint)
+        return (group_key, (spec.name, canonical_params(query.params)), fingerprint)
 
     def _answer_group(
         self,
@@ -1323,6 +1390,27 @@ class QueryPlanner:
     # ------------------------------------------------------------------ #
     # Factorization fan-out
     # ------------------------------------------------------------------ #
+    @staticmethod
+    def _describe_group(group: PlannedGroup) -> str:
+        """One-line system description for factor-unit failure reports."""
+        key = group.key
+        query = group.queries[0]
+        if isinstance(key.system, GraphSnapshot):
+            system = (
+                f"snapshot(n={key.system.n}, edges={key.system.edge_count})"
+            )
+        else:
+            system = f"token {key.system!r}"
+        parts = [
+            f"measure={query.measure!r}",
+            f"kind={key.kind.name}",
+            f"damping={key.damping}",
+            f"system={system}",
+        ]
+        if key.matrix_params:
+            parts.append(f"matrix_params={key.matrix_params!r}")
+        return ", ".join(parts)
+
     def _factorize(
         self, groups: Sequence[PlannedGroup]
     ) -> Dict[SystemKey, FactorizedSystem]:
@@ -1330,25 +1418,40 @@ class QueryPlanner:
 
         Returns the new systems keyed by group key (they are also stored in
         the cache, which may evict them immediately if it is size-bounded).
+
+        Factor units report failures instead of raising (one poisoned query
+        must not abort its siblings with a bare worker traceback): every
+        healthy group's system is computed *and cached* first, then a single
+        :class:`~repro.errors.FactorizationError` carries the annotated
+        per-unit reports — so a retry without the poisoned queries answers
+        warm from the cache.
         """
         if not groups:
             return {}
         matrices = []
+        labels = []
         for group in groups:
             query = group.queries[0]
             spec = get_spec(query.measure)
             matrices.append(
                 spec.system_matrix(query.snapshot, query.damping, query.param_dict)
             )
-        exec_plan = plan_factor_batch(matrices)
+            labels.append(self._describe_group(group))
+        exec_plan = plan_factor_batch(matrices, labels=labels)
         outcome = resolve_executor(self._executor).execute(exec_plan)
         systems: Dict[SystemKey, FactorizedSystem] = {}
-        for group, matrix, decomposition in zip(
-            groups, matrices, outcome.decompositions
+        failures: List[str] = []
+        for group, matrix, label, decomposition in zip(
+            groups, matrices, labels, outcome.decompositions
         ):
+            if decomposition.factors is None:
+                failures.append(decomposition.error or f"factorization failed [{label}]")
+                continue
             system = FactorizedSystem(
                 matrix, decomposition.ordering, decomposition.factors
             )
             systems[group.key] = system
             self._cache.store(group.key, system)
+        if failures:
+            raise FactorizationError(failures)
         return systems

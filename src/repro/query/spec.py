@@ -197,21 +197,60 @@ def registered_measures() -> Tuple[str, ...]:
 Params = Tuple[Tuple[str, object], ...]
 
 
-def _freeze_params(params: Mapping[str, object]) -> Params:
-    """Freeze a params mapping so queries are hashable.
+def _canonical_value(value: object) -> object:
+    """Map one parameter value to its canonical hashable spelling.
 
-    List/set values become tuples in their iteration order — caller order is
-    preserved deliberately (e.g. PPR seed order matches the legacy RHS
-    accumulation), so two queries with differently-ordered equal seed
-    collections are *distinct* Query objects that produce equal answers.
+    Serving traffic spells the same parameter many ways — ``np.int64`` node
+    ids out of array indexing, seed sets as ``list`` / ``tuple`` / ``set`` /
+    ``frozenset`` / ``np.ndarray`` — and every spelling must behave as one
+    value: NumPy scalars collapse to Python scalars, ordered collections
+    become tuples of canonical elements (caller order preserved — PPR seed
+    order matches the legacy RHS accumulation), and *unordered* collections
+    become **sorted** tuples, since their iteration order is an accident of
+    hashing, not information.
     """
-    frozen = []
-    for name in sorted(params):
-        value = params[name]
-        if isinstance(value, (list, set, frozenset)):
-            value = tuple(value)
-        frozen.append((name, value))
-    return tuple(frozen)
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, (int, np.integer)):
+        return int(value)
+    if isinstance(value, (float, np.floating)):
+        return float(value)
+    if isinstance(value, (set, frozenset)):
+        canonical = tuple(_canonical_value(item) for item in value)
+        try:
+            return tuple(sorted(canonical))
+        except TypeError:  # mixed uncomparable types: any fixed order will do
+            return tuple(sorted(canonical, key=repr))
+    if isinstance(value, (list, tuple)):
+        return tuple(_canonical_value(item) for item in value)
+    if isinstance(value, np.ndarray):
+        return tuple(_canonical_value(item) for item in value.tolist())
+    return value
+
+
+def _freeze_params(params: Mapping[str, object]) -> Params:
+    """Freeze a params mapping into canonical, hashable form.
+
+    Values are canonicalized (see :func:`_canonical_value`), so two queries
+    whose parameters differ only in spelling — ``list`` vs ``tuple`` vs
+    ``np.ndarray`` seed collections, ``int`` vs ``np.int64`` node ids —
+    compare equal, share a :class:`SystemKey` and share result-cache
+    entries.  Ordered collections keep their caller order (two queries with
+    differently-*ordered* equal seed lists stay distinct Query objects that
+    produce equal answers); unordered ones are sorted.
+    """
+    return tuple((name, _canonical_value(params[name])) for name in sorted(params))
+
+
+def canonical_params(params: Params) -> Params:
+    """Re-canonicalize an already-frozen params tuple.
+
+    Queries built through :func:`make_query` are canonical by construction;
+    this is the defensive pass for :class:`Query` objects assembled directly
+    from raw tuples (the planner's result-cache key uses it, so equivalent
+    spellings never cold-miss even then).
+    """
+    return tuple((name, _canonical_value(value)) for name, value in params)
 
 
 @dataclasses.dataclass(frozen=True)

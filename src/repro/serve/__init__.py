@@ -1,0 +1,34 @@
+"""Online serving: a micro-batching front-end over the query planner.
+
+:class:`MeasureServer` turns the batch-oriented planner into an always-on
+service — single-query submissions coalesce into planner batches through a
+time/size admission window, streaming snapshot updates apply at batch
+boundaries through the planner's evolution machinery, and every request
+carries its own latency decomposition (:class:`ServerStats`).
+"""
+
+from repro.serve.server import (
+    DEFAULT_MAX_BATCH,
+    DEFAULT_MAX_WAIT_MS,
+    MeasureServer,
+)
+from repro.serve.stats import (
+    DEFAULT_HISTORY,
+    LatencySummary,
+    RequestRecord,
+    ServerStats,
+    StatsCollector,
+    percentile,
+)
+
+__all__ = [
+    "MeasureServer",
+    "DEFAULT_MAX_BATCH",
+    "DEFAULT_MAX_WAIT_MS",
+    "ServerStats",
+    "StatsCollector",
+    "LatencySummary",
+    "RequestRecord",
+    "percentile",
+    "DEFAULT_HISTORY",
+]

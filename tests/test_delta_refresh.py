@@ -681,3 +681,107 @@ class TestEvolutionRideAlong:
         solver = EMSSolver.from_graphs(egs, algorithm="BF")
         with pytest.raises(MeasureError, match="out of bounds"):
             solver.register_evolution(egs[0], from_index=7)
+
+
+class TestLineageBounding:
+    """A bounded factor cache must bound the planner's lineage state too.
+
+    Regression: ``register_evolution`` over a long chain accumulated one
+    lineage entry (holding two full snapshots) per step forever, even with a
+    small ``max_systems`` factor cache — the planner leaked memory linearly
+    in chain length.  The cache now fires an eviction listener exactly when a
+    key leaves it, and the planner drops lineage entries (and snapshot
+    bindings) whose parent system no longer backs any cached key.
+    """
+
+    def _chain(self, length, seed=21):
+        rng = np.random.default_rng(seed)
+        chain = [random_snapshot(rng, 30, 120)]
+        for _ in range(length - 1):
+            chain.append(evolve(rng, chain[-1], additions=2, removals=1))
+        return chain
+
+    def test_long_chain_keeps_lineage_near_cache_size(self):
+        chain = self._chain(12)
+        planner = QueryPlanner(cache=FactorCache(max_systems=2))
+        planner.run(QueryBatch().add_pagerank(chain[0]))
+        for old, new in zip(chain, chain[1:]):
+            planner.register_evolution(old, new)
+            outcome = planner.run(QueryBatch().add_pagerank(new))
+            # Refresh chains stay warm: each head refreshes its predecessor.
+            assert outcome.stats.refreshes + outcome.stats.factorizations == 1
+        # Every entry whose parent's factors were evicted is gone; what
+        # remains is bounded by the cache, not by the chain length.
+        assert len(planner._lineage) <= 2
+        assert planner.cache_info()["size"] <= 2
+
+    def test_unbounded_cache_keeps_all_lineage(self):
+        chain = self._chain(5)
+        planner = QueryPlanner()
+        planner.run(QueryBatch().add_pagerank(chain[0]))
+        for old, new in zip(chain, chain[1:]):
+            planner.register_evolution(old, new)
+            planner.run(QueryBatch().add_pagerank(new))
+        assert len(planner._lineage) == len(chain) - 1
+
+    def test_clear_prunes_every_lineage_entry(self):
+        chain = self._chain(4)
+        planner = QueryPlanner()
+        planner.run(QueryBatch().add_pagerank(chain[0]))
+        for old, new in zip(chain, chain[1:]):
+            planner.register_evolution(old, new)
+            planner.run(QueryBatch().add_pagerank(new))
+        planner.cache.clear()
+        assert planner._lineage == {}
+
+    def test_answers_stay_correct_under_eviction_pruning(self):
+        chain = self._chain(8, seed=22)
+        bounded = QueryPlanner(cache=FactorCache(max_systems=2))
+        for old, new in zip(chain, chain[1:]):
+            bounded.register_evolution(old, new)
+        for snapshot in chain:
+            answer = bounded.run(QueryBatch().add_pagerank(snapshot))[0]
+            cold = QueryPlanner().run(QueryBatch().add_pagerank(snapshot))[0]
+            assert np.max(np.abs(answer - cold)) < TOLERANCE
+
+
+class TestEvictionListeners:
+    """The eviction channel fires exactly when a key leaves the cache."""
+
+    def test_install_does_not_fire_eviction(self):
+        rng = np.random.default_rng(31)
+        cache = FactorCache()
+        evicted = []
+        cache.add_eviction_listener(evicted.append)
+        planner = QueryPlanner(cache=cache)
+        planner.run(QueryBatch().add_pagerank(random_snapshot(rng, 20, 60)))
+        assert evicted == []
+
+    def test_lru_eviction_and_clear_fire(self):
+        rng = np.random.default_rng(32)
+        cache = FactorCache(max_systems=1)
+        evicted = []
+        cache.add_eviction_listener(evicted.append)
+        planner = QueryPlanner(cache=cache)
+        first = random_snapshot(rng, 20, 60)
+        second = random_snapshot(rng, 20, 60)
+        planner.run(QueryBatch().add_pagerank(first))
+        planner.run(QueryBatch().add_pagerank(second))
+        assert [key.system for key in evicted] == [first]
+        cache.clear()
+        assert [key.system for key in evicted] == [first, second]
+
+    def test_listener_sees_key_already_removed(self):
+        # Listeners that scan cache.keys() (the planner's pruning does) must
+        # not observe the departing key as still present.
+        rng = np.random.default_rng(33)
+        cache = FactorCache(max_systems=1)
+        observed = []
+        cache.add_eviction_listener(
+            lambda key: observed.append(key in set(cache.keys()))
+        )
+        planner = QueryPlanner(cache=cache)
+        planner.run(QueryBatch().add_pagerank(random_snapshot(rng, 20, 60)))
+        planner.run(QueryBatch().add_pagerank(random_snapshot(rng, 20, 60)))
+        cache.clear()
+        assert observed == [False, False]

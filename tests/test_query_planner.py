@@ -543,3 +543,77 @@ class TestPlannerExecutors:
         assert serial.stats.factorizations == parallel.stats.factorizations == 4
         for left, right in zip(serial, parallel):
             assert left.tobytes() == right.tobytes()
+
+
+class TestFactorizationFailures:
+    """One unsolvable system must fail diagnosably, not sink the batch.
+
+    Regression: a singular custom system raised out of the factor work unit
+    and aborted the whole parallel batch with a bare worker traceback.  The
+    planner now collects per-unit failure reports, caches every *healthy*
+    sibling's factors first, and raises one :class:`FactorizationError`
+    naming each failing unit and its system group.
+    """
+
+    @pytest.fixture()
+    def singular_spec(self):
+        from repro.sparse.csr import SparseMatrix
+
+        spec = MeasureSpec(
+            name="singular_system_test",
+            kind=MatrixKind.RANDOM_WALK,
+            build_rhs=get_spec("pagerank").build_rhs,
+            build_matrix=lambda snapshot, damping, params: SparseMatrix(
+                snapshot.n, {(0, 0): 1.0}
+            ),
+        )
+        register_spec(spec)
+        yield spec
+        unregister_spec(spec.name)
+
+    @pytest.mark.parametrize("executor", [None, 2])
+    def test_error_names_the_failing_unit(self, tiny_graph, singular_spec, executor):
+        from repro.errors import FactorizationError
+
+        planner = QueryPlanner(executor=executor)
+        batch = (QueryBatch()
+                 .add_pagerank(tiny_graph)
+                 .add(make_query("singular_system_test", tiny_graph))
+                 .add_rwr(tiny_graph, 1))
+        with pytest.raises(FactorizationError) as excinfo:
+            planner.run(batch)
+        message = str(excinfo.value)
+        assert "factor unit" in message
+        assert "singular_system_test" in message
+        assert len(excinfo.value.failures) == 1
+
+    def test_healthy_siblings_are_cached_before_the_raise(self, tiny_graph, singular_spec):
+        from repro.errors import FactorizationError
+
+        planner = QueryPlanner()
+        poisoned = (QueryBatch()
+                    .add_pagerank(tiny_graph)
+                    .add(make_query("singular_system_test", tiny_graph))
+                    .add_rwr(tiny_graph, 1))
+        with pytest.raises(FactorizationError):
+            planner.run(poisoned)
+        # The healthy group's factors survived the failed run: retrying
+        # without the poisoned query costs no new factorization.
+        retry = planner.run(QueryBatch().add_pagerank(tiny_graph).add_rwr(tiny_graph, 1))
+        assert retry.stats.factorizations == 0
+        reference = QueryPlanner().run(
+            QueryBatch().add_pagerank(tiny_graph).add_rwr(tiny_graph, 1)
+        )
+        for answer, expected in zip(retry, reference):
+            assert answer.tobytes() == expected.tobytes()
+
+    def test_all_groups_failing_reports_each(self, tiny_graph, second_graph, singular_spec):
+        from repro.errors import FactorizationError
+
+        planner = QueryPlanner()
+        batch = (QueryBatch()
+                 .add(make_query("singular_system_test", tiny_graph))
+                 .add(make_query("singular_system_test", second_graph)))
+        with pytest.raises(FactorizationError) as excinfo:
+            planner.run(batch)
+        assert len(excinfo.value.failures) == 2

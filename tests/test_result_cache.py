@@ -19,7 +19,7 @@ import pytest
 from repro.errors import MeasureError
 from repro.graphs.snapshot import GraphSnapshot
 from repro.policy import QCPolicy
-from repro.query import FactorCache, QueryBatch, QueryPlanner, ResultCache
+from repro.query import FactorCache, QueryBatch, QueryPlanner, ResultCache, make_query
 
 
 @pytest.fixture
@@ -313,3 +313,77 @@ class TestResultCacheUnit:
         assert cache.lookup(("sys1", None, b"x")) is None
         assert cache.lookup(("sys2", None, b"x")) is not None
         assert cache.cache_info()["invalidations"] == 2
+
+
+class TestParamCanonicalization:
+    """Equivalent parameter spellings must map to one cache entry.
+
+    Regression: the result-cache key carried ``query.params`` verbatim, so a
+    seed set passed as a list vs a tuple vs a frozenset (or node ids as
+    ``np.int64`` vs ``int``) produced distinct keys and re-solved answers the
+    cache already held.  ``make_query`` now canonicalizes values — numpy
+    scalars to Python scalars, sequences to tuples (order preserved: it is
+    the RHS accumulation order), sets to *sorted* tuples — and the planner
+    re-canonicalizes defensively when keying results.
+    """
+
+    def _hits_for_respelling(self, tiny_graph, first_params, second_params):
+        planner = QueryPlanner()
+        planner.run(QueryBatch().add(make_query("ppr", tiny_graph, **first_params)))
+        outcome = planner.run(
+            QueryBatch().add(make_query("ppr", tiny_graph, **second_params))
+        )
+        return outcome.stats
+
+    def test_list_tuple_and_array_seed_spellings_share_one_entry(self, tiny_graph):
+        for respelling in (
+            {"seeds": (1, 4, 2)},
+            {"seeds": [1, 4, 2]},
+            {"seeds": np.array([1, 4, 2])},
+            {"seeds": [np.int64(1), np.int64(4), np.int64(2)]},
+        ):
+            stats = self._hits_for_respelling(
+                tiny_graph, {"seeds": [1, 4, 2]}, respelling
+            )
+            assert stats.result_hits == 1, respelling
+            assert stats.factorizations == 0, respelling
+
+    def test_set_spellings_are_order_insensitive(self, tiny_graph):
+        # Unordered collections canonicalize to a sorted tuple, so the
+        # accident of hash iteration order cannot split cache entries.
+        stats = self._hits_for_respelling(
+            tiny_graph, {"seeds": frozenset({4, 1, 2})}, {"seeds": {2, 4, 1}}
+        )
+        assert stats.result_hits == 1
+
+    def test_numpy_scalar_node_id_matches_python_int(self, tiny_graph):
+        planner = QueryPlanner()
+        planner.run(QueryBatch().add(make_query("rwr", tiny_graph, start_node=3)))
+        outcome = planner.run(
+            QueryBatch().add(
+                make_query("rwr", tiny_graph, start_node=np.int64(3))
+            )
+        )
+        assert outcome.stats.result_hits == 1
+
+    def test_equivalent_spellings_are_equal_queries(self, tiny_graph):
+        a = make_query("ppr", tiny_graph, seeds=[1, 4])
+        b = make_query("ppr", tiny_graph, seeds=(np.int64(1), np.int64(4)))
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_ordered_seed_spellings_preserve_order(self, tiny_graph):
+        # Order of an explicit sequence is semantic (RHS accumulation order);
+        # canonicalization must not sort it into a different query.
+        a = make_query("ppr", tiny_graph, seeds=[4, 1])
+        b = make_query("ppr", tiny_graph, seeds=[1, 4])
+        assert a.params != b.params
+
+    def test_array_params_are_hashable(self, tiny_graph):
+        query = make_query("ppr", tiny_graph, seeds=np.array([0, 2]))
+        hash(query)  # np.ndarray params used to make the query unhashable
+        outcome = QueryPlanner().run(QueryBatch().add(query))
+        reference = QueryPlanner().run(
+            QueryBatch().add(make_query("ppr", tiny_graph, seeds=[0, 2]))
+        )
+        assert outcome[0].tobytes() == reference[0].tobytes()
