@@ -1,5 +1,44 @@
-"""Setuptools shim so that legacy editable installs work in offline environments."""
+"""Setuptools build for the src-layout ``repro`` package.
 
-from setuptools import setup
+The previous shim called ``setup()`` with no metadata and no ``package_dir``
+mapping, so a built wheel contained *no* packages and installed under the
+name ``UNKNOWN`` — ``import repro`` only worked with ``PYTHONPATH=src``.
+All metadata lives here (no setup.cfg / pyproject.toml) so the build also
+works with ``pip wheel --no-build-isolation`` in offline environments.
+"""
 
-setup()
+import os
+import re
+
+from setuptools import find_packages, setup
+
+
+def read_version() -> str:
+    path = os.path.join(os.path.dirname(__file__), "src", "repro", "version.py")
+    with open(path, "r", encoding="utf-8") as handle:
+        match = re.search(r"^__version__\s*=\s*[\"']([^\"']+)[\"']", handle.read(), re.M)
+    if match is None:
+        raise RuntimeError("cannot find __version__ in src/repro/version.py")
+    return match.group(1)
+
+
+setup(
+    name="repro-clude",
+    version=read_version(),
+    description=(
+        "Reproduction of CLUDE (EDBT 2014): fast LU decomposition of "
+        "evolving matrix sequences for dynamic graph measures"
+    ),
+    long_description=open("README.md", encoding="utf-8").read(),
+    long_description_content_type="text/markdown",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.22"],
+    classifiers=[
+        "Development Status :: 4 - Beta",
+        "Intended Audience :: Science/Research",
+        "Programming Language :: Python :: 3",
+        "Topic :: Scientific/Engineering :: Mathematics",
+    ],
+)

@@ -36,6 +36,7 @@ from repro.query import (
     registered_measures,
 )
 from repro.serve import MeasureServer, ServerStats
+from repro.store import FactorStore
 from repro.sparse.csr import SparseMatrix
 from repro.sparse.pattern import SparsityPattern
 from repro.sparse.permutation import Ordering, Permutation
@@ -54,6 +55,7 @@ __all__ = [
     "MatrixKind",
     "system_delta",
     "FactorCache",
+    "FactorStore",
     "ResultCache",
     "ApproximationRecord",
     "ReusePolicy",

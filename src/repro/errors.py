@@ -56,6 +56,18 @@ class MeasureError(ReproError):
     """Raised when a graph measure is configured incorrectly."""
 
 
+class StoreError(ReproError):
+    """Raised for persistent factor-store failures."""
+
+
+class StoreFormatError(StoreError):
+    """Raised when an on-disk checkpoint is torn, corrupt, or foreign.
+
+    The store treats this as a miss: a file that fails its magic, version,
+    checksum, or structural checks is never decoded into a served system.
+    """
+
+
 class FactorizationError(MeasureError):
     """Raised when one or more planner factor units failed.
 

@@ -181,6 +181,29 @@ def laplacian_matrix(snapshot: GraphSnapshot) -> SparseMatrix:
     return SparseMatrix.from_triples(snapshot.n, triples())
 
 
+def validate_damping(kind: MatrixKind, damping: float) -> None:
+    """Check ``damping`` against the *kind's* admissible domain.
+
+    The walk-based kinds compose ``A = I - d·M`` and need ``0 < d < 1``
+    for strict diagonal dominance.  ``LAPLACIAN`` composes ``A = I + L``,
+    where the damping factor does not enter the matrix at all — its
+    conventional value is ``0.0`` (the undamped system,
+    ``reuse_loss_bound``'s documented ``‖A⁻¹‖₁ = 1`` case), so the domain
+    is ``0 <= d < 1``.  One shared gate keeps every validation site —
+    matrix composition, system deltas, :class:`~repro.query.spec.Query`
+    construction, server admission — agreeing on these domains.
+    """
+    if kind is MatrixKind.LAPLACIAN:
+        if not 0.0 <= damping < 1.0:
+            raise MeasureError(
+                f"damping factor for {kind.name} must lie in [0, 1), got {damping}"
+            )
+    elif not 0.0 < damping < 1.0:
+        raise MeasureError(
+            f"damping factor must lie in (0, 1), got {damping}"
+        )
+
+
 def measure_matrix(
     snapshot: GraphSnapshot,
     kind: MatrixKind = MatrixKind.RANDOM_WALK,
@@ -196,11 +219,10 @@ def measure_matrix(
         Which matrix composition to use.
     damping:
         Damping factor ``d`` for the random-walk kinds; must satisfy
-        ``0 < d < 1`` so that ``A`` is strictly diagonally dominant.
+        ``0 < d < 1`` so that ``A`` is strictly diagonally dominant
+        (``0 <= d < 1`` for ``LAPLACIAN``, which ignores it).
     """
-    if kind is not MatrixKind.LAPLACIAN:
-        if not 0.0 < damping < 1.0:
-            raise MeasureError(f"damping factor must lie in (0, 1), got {damping}")
+    validate_damping(kind, damping)
     identity = SparseMatrix.identity(snapshot.n)
     if kind is MatrixKind.RANDOM_WALK:
         walk = column_normalized_matrix(snapshot)
@@ -351,8 +373,7 @@ def system_delta(
         raise DimensionError(
             f"snapshots have different node counts: {before.n} vs {after.n}"
         )
-    if kind is not MatrixKind.LAPLACIAN and not 0.0 < damping < 1.0:
-        raise MeasureError(f"damping factor must lie in (0, 1), got {damping}")
+    validate_damping(kind, damping)
     if delta is None:
         delta = GraphDelta.between(before, after)
     if delta.is_empty():

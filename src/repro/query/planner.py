@@ -63,6 +63,7 @@ from repro.errors import (
     MeasureError,
     PatternError,
     SingularMatrixError,
+    StoreError,
 )
 from repro.exec.executors import Executor, resolve_executor
 from repro.exec.plan import plan_factor_batch, plan_refresh_batch
@@ -86,6 +87,7 @@ from repro.sparse.types import Entries
 if TYPE_CHECKING:  # runtime import is lazy: repro.policy sits above core,
     # whose solver module imports this one (see QueryPlanner.__init__).
     from repro.policy import ReuseDecision, ReusePolicy
+    from repro.store.factorstore import FactorStore, RefreshProvenance
 
 #: Default ``refresh_threshold``: a system-matrix delta touching more than
 #: this fraction of the cached matrix's non-zeros falls back to a cold
@@ -129,12 +131,27 @@ class FactorCache:
         matrix's non-zeros: a system delta with more entries than
         ``refresh_threshold * nnz`` is rejected (counted in
         ``refresh_fallbacks``) and the caller cold-factorizes instead.
+    store:
+        Optional :class:`~repro.store.factorstore.FactorStore` disk tier.
+        With a store attached, LRU evictions (and stealing refreshes)
+        *spill* the departing system to disk instead of dropping it, a
+        memory miss consults the store before reporting a miss to the
+        caller (a restored system is installed and returned — the planner
+        sees it as a cache hit and skips the cold factorization), and
+        :meth:`checkpoint` flushes the whole working set.  Refresh-produced
+        systems remember their provenance (parent + applied delta) so their
+        spills are compact delta checkpoints.  ``cache_info()`` grows four
+        extra counters — ``store_hits`` / ``store_misses`` (partitioning
+        the memory misses), ``spills``, and ``restore_fallbacks`` (files
+        that existed but could not be restored: corrupt, torn, or replay
+        breakdown — served cold instead, never wrong).
     """
 
     def __init__(
         self,
         max_systems: Optional[int] = None,
         refresh_threshold: float = DEFAULT_REFRESH_THRESHOLD,
+        store: Optional["FactorStore"] = None,
     ) -> None:
         if max_systems is not None and max_systems < 1:
             raise MeasureError(f"max_systems must be positive, got {max_systems}")
@@ -145,11 +162,19 @@ class FactorCache:
         self._systems: "OrderedDict[SystemKey, FactorizedSystem]" = OrderedDict()
         self._max_systems = max_systems
         self._refresh_threshold = float(refresh_threshold)
+        self._store = store
+        #: refresh lineage per cached key, kept only while a store could
+        #: spill it as a delta checkpoint (see RefreshProvenance)
+        self._provenance: Dict[SystemKey, "RefreshProvenance"] = {}
         self._hits = 0
         self._misses = 0
         self._evictions = 0
         self._refreshes = 0
         self._refresh_fallbacks = 0
+        self._store_hits = 0
+        self._store_misses = 0
+        self._spills = 0
+        self._restore_fallbacks = 0
         #: resolvers returning the live listener or ``None`` once collected
         self._invalidation_listeners: List[
             Callable[[], Optional[Callable[[SystemKey], None]]]
@@ -168,15 +193,46 @@ class FactorCache:
         """Iterate over the cached system keys (snapshot → key index scans)."""
         return iter(tuple(self._systems))
 
+    @property
+    def disk_store(self) -> Optional["FactorStore"]:
+        """The attached disk tier, or ``None``.
+
+        (Named ``disk_store`` because :meth:`store` — the historical install
+        method — already occupies the ``store`` attribute.)
+        """
+        return self._store
+
     def lookup(self, key: SystemKey) -> Optional[FactorizedSystem]:
-        """Return the cached system for ``key`` and count the hit or miss."""
+        """Return the cached system for ``key`` and count the hit or miss.
+
+        With a store attached, a memory miss consults the disk tier before
+        giving up: a restorable checkpoint is decoded (or delta-replayed),
+        installed, counted as a ``store_hits``, and returned — the caller
+        never learns it was not in memory, which is exactly what makes a
+        warm restart answer without cold factorizations.  ``store_misses``
+        counts the memory misses the store could not serve either; among
+        those, ``restore_fallbacks`` counts the ones where a checkpoint
+        file existed but failed its checksum or its delta replay.
+        """
         system = self._systems.get(key)
-        if system is None:
-            self._misses += 1
-        else:
+        if system is not None:
             self._hits += 1
             self._systems.move_to_end(key)
-        return system
+            return system
+        self._misses += 1
+        if self._store is None:
+            return None
+        if key not in self._store:
+            self._store_misses += 1
+            return None
+        restored = self._store.load(key)
+        if restored is None:
+            self._restore_fallbacks += 1
+            self._store_misses += 1
+            return None
+        self._store_hits += 1
+        self._install(key, restored)
+        return restored
 
     def peek(self, key: SystemKey) -> Optional[FactorizedSystem]:
         """Return the cached system without touching counters or recency."""
@@ -254,14 +310,37 @@ class FactorCache:
     def _evicted(self, key: SystemKey) -> None:
         self._fire(self._eviction_listeners, key)
 
+    def _spill(self, key: SystemKey, system: FactorizedSystem) -> bool:
+        """Checkpoint a departing (or flushed) system to the store, if any.
+
+        Uses the recorded refresh provenance for a compact delta checkpoint
+        when available, a full checkpoint otherwise.  Unsupported factor
+        containers and I/O failures are swallowed — spilling is an
+        optimization, never a correctness requirement (the system would
+        simply cold-factorize on a later miss).
+        """
+        if self._store is None:
+            return False
+        try:
+            self._store.save(key, system, self._provenance.get(key))
+        except (StoreError, OSError):
+            return False
+        self._spills += 1
+        return True
+
     def _install(self, key: SystemKey, system: FactorizedSystem) -> None:
         self._invalidate(key)
+        # New factors over the key invalidate any recorded refresh lineage
+        # (commit_refresh re-records its own right after).
+        self._provenance.pop(key, None)
         self._systems[key] = system
         self._systems.move_to_end(key)
         if self._max_systems is not None:
             while len(self._systems) > self._max_systems:
-                evicted, _ = self._systems.popitem(last=False)
+                evicted, dropped = self._systems.popitem(last=False)
                 self._evictions += 1
+                self._spill(evicted, dropped)
+                self._provenance.pop(evicted, None)
                 self._invalidate(evicted)
                 self._evicted(evicted)
 
@@ -323,9 +402,22 @@ class FactorCache:
             return None
         return cached.clone()
 
-    def commit_refresh(self, new_key: SystemKey, system: FactorizedSystem) -> None:
-        """Install a successfully refreshed system (counted in ``refreshes``)."""
+    def commit_refresh(
+        self,
+        new_key: SystemKey,
+        system: FactorizedSystem,
+        provenance: Optional["RefreshProvenance"] = None,
+    ) -> None:
+        """Install a successfully refreshed system (counted in ``refreshes``).
+
+        ``provenance`` — the parent system and the exact applied delta — is
+        remembered (only while a store is attached; it pins the parent
+        system in memory) so a later spill of this key writes a compact
+        delta checkpoint instead of a full one.
+        """
         self._install(new_key, system)
+        if provenance is not None and self._store is not None:
+            self._provenance[new_key] = provenance
         self._refreshes += 1
 
     def refresh_failed(self) -> None:
@@ -380,15 +472,54 @@ class FactorCache:
             new_matrix = _apply_entry_delta(cached.matrix, delta)
         system = FactorizedSystem(new_matrix, ordering, working.factors)
         if steal:
-            if self._systems.pop(old_key, None) is not None:
+            popped = self._systems.pop(old_key, None)
+            if popped is not None:
+                self._spill(old_key, popped)
+                self._provenance.pop(old_key, None)
                 self._invalidate(old_key)
                 self._evicted(old_key)
-        self.commit_refresh(new_key, system)
+        provenance: Optional["RefreshProvenance"] = None
+        if self._store is not None:
+            from repro.store.factorstore import RefreshProvenance
+
+            # This path applied ``mapped`` in its own insertion order (the
+            # executor refresh units sort theirs); the provenance must
+            # record exactly the order that produced the factors.
+            provenance = RefreshProvenance(old_key, cached, dict(mapped))
+        self.commit_refresh(new_key, system, provenance=provenance)
         return system
 
+    def checkpoint(self) -> int:
+        """Flush every cached system to the store; return the spill count.
+
+        Non-destructive: the working set stays in memory untouched.  A
+        warm-booted cache pointed at the same store directory answers the
+        flushed keys from disk, bitwise-identically, without a single cold
+        factorization.  Raises :class:`~repro.errors.MeasureError` when no
+        store is attached.
+        """
+        if self._store is None:
+            raise MeasureError(
+                "checkpoint() requires a FactorCache constructed with store=..."
+            )
+        count = 0
+        for key, system in list(self._systems.items()):
+            if self._spill(key, system):
+                count += 1
+        return count
+
     def cache_info(self) -> Dict[str, int]:
-        """Return hit/miss/eviction/refresh/size counters (the reuse statistics)."""
-        return {
+        """Return hit/miss/eviction/refresh/size counters (the reuse statistics).
+
+        With a store attached, four more counters appear: ``store_hits`` /
+        ``store_misses`` partition the memory ``misses`` into served-from-
+        disk vs truly cold, ``spills`` counts systems checkpointed on
+        eviction/steal/:meth:`checkpoint`, and ``restore_fallbacks`` counts
+        checkpoint files that existed but could not be restored.  (They are
+        omitted entirely for store-less caches, whose ``cache_info()`` stays
+        byte-compatible with earlier releases.)
+        """
+        info = {
             "hits": self._hits,
             "misses": self._misses,
             "evictions": self._evictions,
@@ -396,18 +527,37 @@ class FactorCache:
             "refresh_fallbacks": self._refresh_fallbacks,
             "size": len(self._systems),
         }
+        if self._store is not None:
+            info.update({
+                "store_hits": self._store_hits,
+                "store_misses": self._store_misses,
+                "spills": self._spills,
+                "restore_fallbacks": self._restore_fallbacks,
+            })
+        return info
 
     def clear(self) -> None:
-        """Drop every cached system and reset the counters."""
+        """Drop every cached system and reset the counters.
+
+        The store (if any) is left untouched: ``clear`` empties the memory
+        tier, it does not delete checkpoints.  Subsequent lookups may
+        therefore still restore from disk.
+        """
         while self._systems:
             key, _ = self._systems.popitem(last=False)
+            self._provenance.pop(key, None)
             self._invalidate(key)
             self._evicted(key)
+        self._provenance.clear()
         self._hits = 0
         self._misses = 0
         self._evictions = 0
         self._refreshes = 0
         self._refresh_fallbacks = 0
+        self._store_hits = 0
+        self._store_misses = 0
+        self._spills = 0
+        self._restore_fallbacks = 0
 
 
 #: Default size of a planner's answer-level result cache.
@@ -702,6 +852,13 @@ class QueryPlanner:
         ``False`` mean default / disabled; a :class:`ResultCache` instance
         is used as given.  Cached answers are value-copies, so result
         caching never changes observable answers.
+    store:
+        Convenience for the common warm-boot construction: a
+        :class:`~repro.store.factorstore.FactorStore` to build the
+        planner's :class:`FactorCache` around (spill on eviction, consult
+        on miss, :meth:`checkpoint`).  Mutually exclusive with ``cache`` —
+        when sharing an existing cache, attach the store to it directly
+        via ``FactorCache(store=...)``.
     """
 
     def __init__(
@@ -711,6 +868,7 @@ class QueryPlanner:
         auto_refresh: bool = False,
         policy: Optional["ReusePolicy"] = None,
         result_cache: Union[ResultCache, int, None] = None,
+        store: Optional["FactorStore"] = None,
     ) -> None:
         # Imported here, not at module level: repro.policy sits above the
         # core package, whose solver module imports this one.
@@ -722,8 +880,16 @@ class QueryPlanner:
             raise MeasureError(
                 f"policy must be a ReusePolicy, got {type(policy).__name__}"
             )
+        if store is not None and cache is not None:
+            raise MeasureError(
+                "pass either cache= or store=: to combine a shared cache "
+                "with a disk tier, construct it as FactorCache(store=...)"
+            )
         self._executor = executor
-        self._cache = cache if cache is not None else FactorCache()
+        if cache is not None:
+            self._cache = cache
+        else:
+            self._cache = FactorCache(store=store)
         self._auto_refresh = bool(auto_refresh)
         self._policy = policy
         if result_cache is None:
@@ -804,6 +970,14 @@ class QueryPlanner:
     def result_cache(self) -> Optional[ResultCache]:
         """The answer-level cache, or ``None`` when disabled."""
         return self._results
+
+    def checkpoint(self) -> int:
+        """Flush the factor cache's working set to its store (spill count).
+
+        See :meth:`FactorCache.checkpoint`; raises
+        :class:`~repro.errors.MeasureError` when the cache has no store.
+        """
+        return self._cache.checkpoint()
 
     def cache_info(self) -> Dict[str, int]:
         """Lifetime counters of the factor cache plus the result cache.
@@ -1324,8 +1498,9 @@ class QueryPlanner:
         refreshed: Dict[SystemKey, FactorizedSystem] = {}
         cold: List[PlannedGroup] = []
         pending = list(groups)
+        record_provenance = self._cache.disk_store is not None
         while pending:
-            jobs: List[Tuple[PlannedGroup, SparseMatrix]] = []
+            jobs: List[Tuple[PlannedGroup, SparseMatrix, SystemKey, Entries]] = []
             payloads = []
             deferred: List[PlannedGroup] = []
             for group in pending:
@@ -1358,13 +1533,13 @@ class QueryPlanner:
                 new_matrix = get_spec(query.measure).system_matrix(
                     query.snapshot, query.damping, query.param_dict
                 )
-                jobs.append((group, new_matrix))
+                jobs.append((group, new_matrix, old_key, mapped))
                 payloads.append((new_matrix, prepared.factors, ordering, mapped))
             committed = 0
             if jobs:
                 exec_plan = plan_refresh_batch(payloads)
                 outcome = resolve_executor(self._executor).execute(exec_plan)
-                for (group, new_matrix), decomposition in zip(
+                for (group, new_matrix, old_key, mapped), decomposition in zip(
                     jobs, outcome.decompositions
                 ):
                     if decomposition.factors is None:
@@ -1374,7 +1549,23 @@ class QueryPlanner:
                     system = FactorizedSystem(
                         new_matrix, decomposition.ordering, decomposition.factors
                     )
-                    self._cache.commit_refresh(group.key, system)
+                    provenance = None
+                    parent_system = (
+                        self._cache.peek(old_key) if record_provenance else None
+                    )
+                    if parent_system is not None:
+                        from repro.store.factorstore import RefreshProvenance
+
+                        # The refresh units freeze and apply the delta in
+                        # sorted-key order (see plan_refresh_batch); the
+                        # provenance must record exactly that order for a
+                        # bit-exact replay at restore time.
+                        provenance = RefreshProvenance(
+                            old_key, parent_system, dict(sorted(mapped.items()))
+                        )
+                    self._cache.commit_refresh(
+                        group.key, system, provenance=provenance
+                    )
                     refreshed[group.key] = system
                     committed += 1
             if not deferred:

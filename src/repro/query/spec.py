@@ -34,6 +34,7 @@ from repro.graphs.matrixkind import (
     hitting_time_matrix,
     measure_matrix,
     row_stochastic_matrix,
+    validate_damping,
 )
 from repro.graphs.snapshot import GraphSnapshot
 from repro.lu.crout import crout_decompose
@@ -253,6 +254,27 @@ def canonical_params(params: Params) -> Params:
     return tuple((name, _canonical_value(value)) for name, value in params)
 
 
+def _validate_measure_damping(measure: str, damping: float) -> None:
+    """Check a damping factor against the *measure's* matrix-kind domain.
+
+    The admissible domain depends on the kind the measure's spec composes
+    with: the walk kinds need ``0 < d < 1``, while ``LAPLACIAN`` measures
+    accept the undamped ``d = 0.0`` convention (see
+    :func:`~repro.graphs.matrixkind.validate_damping`, the shared gate).
+    Unregistered measure names — a :class:`Query` can be constructed before
+    its spec is registered — fall back to the strict walk-kind domain,
+    which every built-in measure uses.
+    """
+    spec = _REGISTRY.get(measure)
+    if spec is None:
+        if not 0.0 < damping < 1.0:
+            raise MeasureError(
+                f"damping factor must lie in (0, 1), got {damping}"
+            )
+        return
+    validate_damping(spec.kind, damping)
+
+
 @dataclasses.dataclass(frozen=True)
 class Query:
     """One measure evaluation request against one snapshot.
@@ -271,10 +293,7 @@ class Query:
     system_token: Optional[Hashable] = None
 
     def __post_init__(self) -> None:
-        if not 0.0 < self.damping < 1.0:
-            raise MeasureError(
-                f"damping factor must lie in (0, 1), got {self.damping}"
-            )
+        _validate_measure_damping(self.measure, self.damping)
 
     @property
     def param_dict(self) -> Dict[str, object]:
@@ -438,8 +457,7 @@ def evaluate_block(
     """
     spec = get_spec(measure)
     params_list = [dict(p) for p in params_list]
-    if not 0.0 < damping < 1.0:
-        raise MeasureError(f"damping factor must lie in (0, 1), got {damping}")
+    validate_damping(spec.kind, damping)
     if not params_list:
         return np.zeros((snapshot.n, 0), dtype=float)
     first_key = spec.matrix_param_key(params_list[0])

@@ -43,7 +43,7 @@ import numpy as np
 
 from repro.errors import MeasureError
 from repro.exec.executors import Executor
-from repro.graphs.matrixkind import DEFAULT_DAMPING
+from repro.graphs.matrixkind import DEFAULT_DAMPING, validate_damping
 from repro.graphs.snapshot import GraphSnapshot
 from repro.query.batch import QueryBatch
 from repro.query.planner import FactorCache, QueryPlanner, ResultCache
@@ -103,6 +103,21 @@ class _UpdateTicket:
     seq: int = 0
 
 
+@dataclasses.dataclass
+class _CheckpointTicket:
+    """A control ticket flushing the factor cache to its store.
+
+    Executed by the serving thread at a batch boundary — like an update, it
+    closes the currently open admission window first, so the checkpoint
+    captures a consistent working set (no planner run is in flight while
+    the spill happens, and no locking of the planner is needed).
+    """
+
+    future: Future
+    enqueued: float
+    seq: int = 0
+
+
 class MeasureServer:
     """Always-on proximity-query server over one :class:`QueryPlanner`.
 
@@ -122,6 +137,14 @@ class MeasureServer:
         milliseconds after its *first* query was enqueued, full or not.
         ``0`` disables coalescing-by-time entirely (a window still fills
         from backlog up to ``max_batch``).
+    store:
+        Optional :class:`~repro.store.factorstore.FactorStore` for the
+        constructed planner (mutually exclusive with ``cache`` and with an
+        explicit ``planner``): evicted factors spill to disk, misses
+        restore from it, and :meth:`checkpoint` flushes the working set —
+        a server restarted against the same store directory answers its
+        first batch bitwise-identically with zero cold factorizations for
+        checkpointed systems.
     register_lineage:
         When true (default), :meth:`admit_update` registers the
         parent→child evolution with the planner, so queries against the new
@@ -152,6 +175,7 @@ class MeasureServer:
         auto_refresh: bool = False,
         policy: Optional[object] = None,
         result_cache: Union[ResultCache, int, None] = None,
+        store: Optional[object] = None,
         register_lineage: bool = True,
         history: int = DEFAULT_HISTORY,
     ) -> None:
@@ -163,11 +187,13 @@ class MeasureServer:
             conflicting = (
                 executor is not None or cache is not None or auto_refresh
                 or policy is not None or result_cache is not None
+                or store is not None
             )
             if conflicting:
                 raise MeasureError(
                     "pass either a planner or planner-construction arguments "
-                    "(executor/cache/auto_refresh/policy/result_cache), not both"
+                    "(executor/cache/auto_refresh/policy/result_cache/store), "
+                    "not both"
                 )
         else:
             planner = QueryPlanner(
@@ -176,6 +202,7 @@ class MeasureServer:
                 auto_refresh=auto_refresh,
                 policy=policy,
                 result_cache=result_cache,
+                store=store,
             )
         self._planner = planner
         self._max_batch = int(max_batch)
@@ -183,7 +210,9 @@ class MeasureServer:
         self._register_lineage = bool(register_lineage)
         self._lock = threading.Lock()
         self._wakeup = threading.Condition(self._lock)
-        self._pending: Deque[Union[_QueryTicket, _UpdateTicket]] = deque()
+        self._pending: Deque[
+            Union[_QueryTicket, _UpdateTicket, _CheckpointTicket]
+        ] = deque()
         self._stats = StatsCollector(history=history)
         self._head: Optional[GraphSnapshot] = None
         self._closed = False
@@ -245,8 +274,9 @@ class MeasureServer:
         for name in spec.required_params:
             if name not in params:
                 raise MeasureError(f"measure {measure!r} requires parameter {name!r}")
-        if not 0.0 < damping < 1.0:
-            raise MeasureError(f"damping factor must lie in (0, 1), got {damping}")
+        # Same per-kind domain the Query constructor enforces (LAPLACIAN
+        # measures accept the undamped d = 0.0 convention).
+        validate_damping(spec.kind, damping)
         return self._enqueue(_QueryTicket(
             future=Future(), enqueued=time.perf_counter(),
             deferred=(measure, float(damping), system_token, dict(params)),
@@ -278,6 +308,23 @@ class MeasureServer:
         return self._enqueue(_UpdateTicket(
             future=Future(), enqueued=time.perf_counter(),
             snapshot=snapshot, parent=parent,
+        ), is_query=False)
+
+    def checkpoint(self) -> "Future[int]":
+        """Flush the planner's factor cache to its store at a batch boundary.
+
+        Enqueued like an update: the open admission window closes first, so
+        the spill sees a consistent working set and runs *on the serving
+        thread* — the planner is never touched concurrently.  The future
+        resolves to the number of systems checkpointed (see
+        :meth:`~repro.query.planner.FactorCache.checkpoint`), or raises
+        :class:`~repro.errors.MeasureError` when the planner's cache has no
+        store attached.  A replacement server constructed over the same
+        store directory then answers every checkpointed system from disk,
+        bitwise-identically, without a cold factorization.
+        """
+        return self._enqueue(_CheckpointTicket(
+            future=Future(), enqueued=time.perf_counter(),
         ), is_query=False)
 
     def flush(self) -> None:
@@ -353,6 +400,9 @@ class MeasureServer:
             if isinstance(first, _UpdateTicket):
                 self._apply_update(first)
                 continue
+            if isinstance(first, _CheckpointTicket):
+                self._apply_checkpoint(first)
+                continue
             tickets = self._gather_window(first)
             self._execute_batch(tickets)
 
@@ -369,8 +419,8 @@ class MeasureServer:
         with self._wakeup:
             while len(tickets) < self._max_batch:
                 if self._pending:
-                    if isinstance(self._pending[0], _UpdateTicket):
-                        break  # the update applies at this batch boundary
+                    if not isinstance(self._pending[0], _QueryTicket):
+                        break  # updates/checkpoints apply at this boundary
                     tickets.append(self._pending.popleft())
                     continue
                 # Backlog drained; decide whether to keep the window open.
@@ -403,6 +453,18 @@ class MeasureServer:
             self._head = ticket.snapshot
             self._stats.updates_admitted += 1
         ticket.future.set_result(ticket.snapshot)
+
+    def _apply_checkpoint(self, ticket: _CheckpointTicket) -> None:
+        if not ticket.future.set_running_or_notify_cancel():
+            with self._lock:
+                self._stats.cancelled += 1
+            return
+        try:
+            count = self._planner.checkpoint()
+        except Exception as error:  # noqa: BLE001 - reported on the future
+            ticket.future.set_exception(error)
+            return
+        ticket.future.set_result(count)
 
     def _execute_batch(self, tickets: List[_QueryTicket]) -> None:
         live: List[Tuple[_QueryTicket, Query]] = []

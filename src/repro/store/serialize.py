@@ -1,0 +1,461 @@
+"""Versioned, checksummed blobs for factor-store checkpoints.
+
+One checkpoint is one file::
+
+    MAGIC (4)  |  version (2, LE)  |  digest (16)  |  body
+    body  =  header-length (4, LE)  |  JSON header  |  raw array payload
+
+The digest is a 16-byte BLAKE2b over the *body*, so any truncation, bit flip
+or partially-written file is detected before a single byte of it is
+interpreted; a file that fails any structural check raises
+:class:`~repro.errors.StoreFormatError`, which the store treats as a miss —
+a corrupt checkpoint is never served.  The JSON header carries small
+metadata plus the name/dtype/length of each array; the payload is the
+arrays' raw little-endian bytes concatenated in header order.  No pickle is
+involved anywhere in the hot payload.
+
+Writes are atomic: the blob is written to a temporary file in the target
+directory, fsynced, and :func:`os.replace`-d over the final name — a crash
+mid-checkpoint leaves either the old file or no file, never a torn one.
+
+The encoders are **bitwise round-trip exact**: every float64 is stored and
+restored by raw bytes (``-0.0`` and subnormals included), and both factor
+containers rebuild their structure deterministically (the dynamic adjacency
+lists keep their per-row lists sorted, the static structure sorts its slots
+from the pattern), so a decoded :class:`~repro.query.spec.FactorizedSystem`
+answers bitwise-identically to the one that was encoded.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import struct
+import tempfile
+from typing import Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import StoreFormatError
+from repro.lu.factors import LUFactors
+from repro.lu.static_structure import StaticLUFactors
+from repro.query.spec import FactorizedSystem
+from repro.sparse.csr import SparseMatrix
+from repro.sparse.pattern import SparsityPattern
+from repro.sparse.permutation import Ordering
+from repro.sparse.types import Entries
+
+#: First four bytes of every checkpoint file.
+MAGIC = b"RPFS"
+
+#: On-disk format version; bumped on any incompatible layout change.
+FORMAT_VERSION = 1
+
+#: Only these dtypes ever appear in a payload (little-endian, fixed width).
+_ALLOWED_DTYPES = ("<i8", "<f8")
+
+_PREFIX = struct.Struct("<4sH16s")
+_HEADER_LEN = struct.Struct("<I")
+
+#: Digest parameters shared by writer and reader.
+_DIGEST_SIZE = 16
+
+
+def _digest(body: bytes) -> bytes:
+    return hashlib.blake2b(body, digest_size=_DIGEST_SIZE).digest()
+
+
+# ---------------------------------------------------------------------- #
+# Blob I/O
+# ---------------------------------------------------------------------- #
+def _build_body(
+    meta: Mapping[str, object], arrays: Mapping[str, np.ndarray]
+) -> bytes:
+    """Serialize header + payload into the digestable body bytes."""
+    descriptors = []
+    chunks = []
+    for name, array in arrays.items():
+        if array.dtype == np.int64:
+            dtype = "<i8"
+        elif array.dtype == np.float64:
+            dtype = "<f8"
+        else:
+            raise StoreFormatError(
+                f"array {name!r} has unsupported dtype {array.dtype}"
+            )
+        data = np.ascontiguousarray(array.ravel())
+        if data.dtype.byteorder == ">":  # pragma: no cover - big-endian hosts
+            data = data.astype(dtype)
+        descriptors.append({"name": name, "dtype": dtype, "length": int(data.size)})
+        chunks.append(data.tobytes())
+    header = json.dumps(
+        {"meta": dict(meta), "arrays": descriptors}, sort_keys=True
+    ).encode("utf-8")
+    return b"".join([_HEADER_LEN.pack(len(header)), header, *chunks])
+
+
+def blob_digest(
+    meta: Mapping[str, object], arrays: Mapping[str, np.ndarray]
+) -> str:
+    """The body digest (hex) that :func:`write_blob` would record.
+
+    Lets a caller compare an in-memory encoding against an existing file's
+    prefix (:func:`read_blob_digest`) without writing or reading a payload.
+    """
+    return _digest(_build_body(meta, arrays)).hex()
+
+
+def write_blob(
+    path: str, meta: Mapping[str, object], arrays: Mapping[str, np.ndarray]
+) -> str:
+    """Atomically write one checkpoint blob; return the body digest (hex).
+
+    ``arrays`` iteration order is the payload order (preserved in the
+    header).  The file appears under ``path`` only after its full content is
+    durably on disk, via a same-directory temporary file and
+    :func:`os.replace`.
+    """
+    body = _build_body(meta, arrays)
+    digest = _digest(body)
+    blob = _PREFIX.pack(MAGIC, FORMAT_VERSION, digest) + body
+
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    fd, tmp_path = tempfile.mkstemp(prefix=".tmp-", dir=directory)
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(blob)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+    return digest.hex()
+
+
+def read_blob(path: str) -> Tuple[Dict[str, object], Dict[str, np.ndarray], str]:
+    """Read and verify one checkpoint blob.
+
+    Returns ``(meta, arrays, digest_hex)``.  Every structural problem —
+    missing file treated separately by the caller, wrong magic, unknown
+    version, checksum mismatch (truncation, bit flips, partial writes),
+    malformed header, arrays not covering the payload exactly — raises
+    :class:`~repro.errors.StoreFormatError`; nothing from a bad file is ever
+    returned.  The returned arrays own their memory (safe to mutate).
+    """
+    with open(path, "rb") as handle:
+        blob = handle.read()
+    if len(blob) < _PREFIX.size:
+        raise StoreFormatError(f"{path}: file shorter than the blob prefix")
+    magic, version, digest = _PREFIX.unpack_from(blob)
+    if magic != MAGIC:
+        raise StoreFormatError(f"{path}: bad magic {magic!r}")
+    if version != FORMAT_VERSION:
+        raise StoreFormatError(
+            f"{path}: unsupported format version {version} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    body = blob[_PREFIX.size:]
+    if _digest(body) != digest:
+        raise StoreFormatError(f"{path}: checksum mismatch (torn or corrupt file)")
+    if len(body) < _HEADER_LEN.size:
+        raise StoreFormatError(f"{path}: body shorter than the header length field")
+    (header_len,) = _HEADER_LEN.unpack_from(body)
+    header_end = _HEADER_LEN.size + header_len
+    if header_end > len(body):
+        raise StoreFormatError(f"{path}: header length exceeds the body")
+    try:
+        header = json.loads(body[_HEADER_LEN.size:header_end].decode("utf-8"))
+        meta = dict(header["meta"])
+        descriptors = list(header["arrays"])
+    except (ValueError, KeyError, TypeError) as error:
+        raise StoreFormatError(f"{path}: malformed header ({error})") from None
+    arrays: Dict[str, np.ndarray] = {}
+    offset = header_end
+    for descriptor in descriptors:
+        try:
+            name = descriptor["name"]
+            dtype = descriptor["dtype"]
+            length = int(descriptor["length"])
+        except (KeyError, TypeError, ValueError) as error:
+            raise StoreFormatError(
+                f"{path}: malformed array descriptor ({error})"
+            ) from None
+        if dtype not in _ALLOWED_DTYPES or length < 0:
+            raise StoreFormatError(
+                f"{path}: illegal array descriptor {descriptor!r}"
+            )
+        nbytes = length * 8
+        if offset + nbytes > len(body):
+            raise StoreFormatError(f"{path}: array {name!r} exceeds the payload")
+        arrays[name] = np.frombuffer(
+            body, dtype=dtype, count=length, offset=offset
+        ).copy()
+        offset += nbytes
+    if offset != len(body):
+        raise StoreFormatError(f"{path}: trailing bytes after the declared arrays")
+    return meta, arrays, digest.hex()
+
+
+def read_blob_digest(path: str) -> str:
+    """Return the body digest recorded in a blob's prefix (hex), cheaply.
+
+    Only the fixed-size prefix is read; the digest is *not* re-verified
+    against the body (that happens on the full :func:`read_blob`).  Raises
+    :class:`~repro.errors.StoreFormatError` on a short or foreign file.
+    """
+    with open(path, "rb") as handle:
+        prefix = handle.read(_PREFIX.size)
+    if len(prefix) < _PREFIX.size:
+        raise StoreFormatError(f"{path}: file shorter than the blob prefix")
+    magic, version, digest = _PREFIX.unpack(prefix)
+    if magic != MAGIC or version != FORMAT_VERSION:
+        raise StoreFormatError(f"{path}: bad magic or version")
+    return digest.hex()
+
+
+# ---------------------------------------------------------------------- #
+# Component encoders
+# ---------------------------------------------------------------------- #
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise StoreFormatError(message)
+
+
+def encode_matrix(matrix: SparseMatrix, arrays: Dict[str, np.ndarray]) -> None:
+    """Append a CSR matrix's three arrays under the ``matrix_`` prefix."""
+    arrays["matrix_indptr"] = matrix.indptr
+    arrays["matrix_indices"] = matrix.indices
+    arrays["matrix_data"] = matrix.data
+
+
+def decode_matrix(n: int, arrays: Mapping[str, np.ndarray]) -> SparseMatrix:
+    """Rebuild a CSR matrix from its stored arrays (exact same buffers)."""
+    indptr = arrays["matrix_indptr"]
+    indices = arrays["matrix_indices"]
+    data = arrays["matrix_data"]
+    _require(indptr.size == n + 1, "matrix indptr has the wrong length")
+    _require(
+        indices.size == data.size and (n == 0 or int(indptr[-1]) == indices.size),
+        "matrix index/data arrays disagree",
+    )
+    return SparseMatrix._from_csr(n, indptr, indices, data)
+
+
+def encode_entries(
+    entries: Entries, arrays: Dict[str, np.ndarray], prefix: str = "delta"
+) -> None:
+    """Append a sparse entry dict, preserving its iteration order.
+
+    The order matters: Bennett rank-1 sweeps iterate the update vectors in
+    dict insertion order, so a bit-exact replay must apply the entries in
+    exactly the order they were applied originally.
+    """
+    count = len(entries)
+    rows = np.empty(count, dtype=np.int64)
+    cols = np.empty(count, dtype=np.int64)
+    vals = np.empty(count, dtype=np.float64)
+    for slot, ((i, j), value) in enumerate(entries.items()):
+        rows[slot] = i
+        cols[slot] = j
+        vals[slot] = value
+    arrays[f"{prefix}_rows"] = rows
+    arrays[f"{prefix}_cols"] = cols
+    arrays[f"{prefix}_vals"] = vals
+
+
+def decode_entries(
+    arrays: Mapping[str, np.ndarray], prefix: str = "delta"
+) -> Entries:
+    """Rebuild a sparse entry dict in its stored (original) order."""
+    rows = arrays[f"{prefix}_rows"]
+    cols = arrays[f"{prefix}_cols"]
+    vals = arrays[f"{prefix}_vals"]
+    _require(
+        rows.size == cols.size == vals.size, "delta arrays disagree in length"
+    )
+    return {
+        (int(rows[k]), int(cols[k])): float(vals[k]) for k in range(rows.size)
+    }
+
+
+def _encode_ordering(
+    ordering: Optional[Ordering], meta: Dict[str, object], arrays: Dict[str, np.ndarray]
+) -> None:
+    meta["ordering"] = ordering is not None
+    if ordering is not None:
+        arrays["order_row"] = np.asarray(ordering.row.order, dtype=np.int64)
+        arrays["order_col"] = np.asarray(ordering.column.order, dtype=np.int64)
+
+
+def _decode_ordering(
+    meta: Mapping[str, object], arrays: Mapping[str, np.ndarray]
+) -> Optional[Ordering]:
+    if not meta.get("ordering"):
+        return None
+    return Ordering.from_sequences(
+        arrays["order_row"].tolist(), arrays["order_col"].tolist()
+    )
+
+
+def _encode_dynamic_factors(
+    factors: LUFactors, arrays: Dict[str, np.ndarray]
+) -> None:
+    """Store dynamic factors as two COO triples (deterministic iteration).
+
+    ``l_items`` / ``u_items`` iterate the adjacency lists in their canonical
+    sorted order, and the lists never store zeros (``set`` deletes them), so
+    the triples are exactly the stored entries and re-inserting them rebuilds
+    an identical structure (the per-row lists are kept sorted by ``bisect``,
+    making the final structure insertion-order independent).
+    """
+    l_triples = list(factors.l_items())
+    u_triples = list(factors.u_items())
+    for prefix, triples in (("l", l_triples), ("u", u_triples)):
+        rows = np.fromiter((i for i, _, _ in triples), np.int64, len(triples))
+        cols = np.fromiter((j for _, j, _ in triples), np.int64, len(triples))
+        vals = np.fromiter((v for _, _, v in triples), np.float64, len(triples))
+        arrays[f"{prefix}_rows"] = rows
+        arrays[f"{prefix}_cols"] = cols
+        arrays[f"{prefix}_vals"] = vals
+
+
+def _decode_dynamic_factors(
+    n: int, arrays: Mapping[str, np.ndarray]
+) -> LUFactors:
+    factors = LUFactors(n)
+    l_rows, l_cols, l_vals = arrays["l_rows"], arrays["l_cols"], arrays["l_vals"]
+    _require(
+        l_rows.size == l_cols.size == l_vals.size, "L arrays disagree in length"
+    )
+    for k in range(l_rows.size):
+        i, j = int(l_rows[k]), int(l_cols[k])
+        value = float(l_vals[k])
+        _require(value != 0.0, "dynamic factors must not store explicit zeros")
+        if i == j:
+            factors.set_l_diagonal(i, value)
+        else:
+            factors.l_set(i, j, value)
+    u_rows, u_cols, u_vals = arrays["u_rows"], arrays["u_cols"], arrays["u_vals"]
+    _require(
+        u_rows.size == u_cols.size == u_vals.size, "U arrays disagree in length"
+    )
+    for k in range(u_rows.size):
+        value = float(u_vals[k])
+        _require(value != 0.0, "dynamic factors must not store explicit zeros")
+        factors.u_set(int(u_rows[k]), int(u_cols[k]), value)
+    factors.reset_counters()
+    return factors
+
+
+def _encode_static_factors(
+    factors: StaticLUFactors, arrays: Dict[str, np.ndarray]
+) -> None:
+    """Store the full slot arrays of a static structure, zeros included.
+
+    Zero-valued slots are part of the container's state (and ``-0.0`` is a
+    distinct bit pattern), so the flattened value arrays are stored verbatim
+    rather than as non-zero triples.  The pattern rebuilds the slot layout
+    deterministically (``StaticLUFactors.__init__`` sorts per column/row).
+    """
+    pattern = sorted(factors.pattern.indices)
+    arrays["pattern_rows"] = np.fromiter(
+        (i for i, _ in pattern), np.int64, len(pattern)
+    )
+    arrays["pattern_cols"] = np.fromiter(
+        (j for _, j in pattern), np.int64, len(pattern)
+    )
+    arrays["diag"] = factors._diagonal
+    arrays["l_values"] = np.array(
+        [value for values in factors._l_col_values for value in values],
+        dtype=np.float64,
+    )
+    arrays["u_values"] = np.array(
+        [value for values in factors._u_row_values for value in values],
+        dtype=np.float64,
+    )
+
+
+def _decode_static_factors(
+    n: int, arrays: Mapping[str, np.ndarray]
+) -> StaticLUFactors:
+    rows = arrays["pattern_rows"]
+    cols = arrays["pattern_cols"]
+    _require(rows.size == cols.size, "pattern arrays disagree in length")
+    pattern = SparsityPattern(
+        n, ((int(rows[k]), int(cols[k])) for k in range(rows.size))
+    )
+    factors = StaticLUFactors(pattern)
+    diag = arrays["diag"]
+    _require(diag.size == n, "diagonal has the wrong length")
+    factors._diagonal[:] = diag
+    l_values = arrays["l_values"]
+    offset = 0
+    for j in range(n):
+        width = len(factors._l_col_values[j])
+        _require(offset + width <= l_values.size, "L values shorter than the pattern")
+        factors._l_col_values[j] = [float(v) for v in l_values[offset:offset + width]]
+        offset += width
+    _require(offset == l_values.size, "L values longer than the pattern")
+    u_values = arrays["u_values"]
+    offset = 0
+    for i in range(n):
+        width = len(factors._u_row_values[i])
+        _require(offset + width <= u_values.size, "U values shorter than the pattern")
+        factors._u_row_values[i] = [float(v) for v in u_values[offset:offset + width]]
+        offset += width
+    _require(offset == u_values.size, "U values longer than the pattern")
+    return factors
+
+
+# ---------------------------------------------------------------------- #
+# FactorizedSystem checkpoints
+# ---------------------------------------------------------------------- #
+def encode_factorized_system(
+    system: FactorizedSystem,
+) -> Tuple[Dict[str, object], Dict[str, np.ndarray]]:
+    """Encode a full system checkpoint: matrix + ordering + factor container.
+
+    Raises :class:`~repro.errors.StoreFormatError` for factor containers the
+    format does not cover (anything other than the library's dynamic and
+    static containers) — the caller then simply skips the spill.
+    """
+    meta: Dict[str, object] = {"type": "system", "n": system.matrix.n}
+    arrays: Dict[str, np.ndarray] = {}
+    encode_matrix(system.matrix, arrays)
+    _encode_ordering(system.ordering, meta, arrays)
+    factors = system.factors
+    if isinstance(factors, LUFactors):
+        meta["factors"] = "dynamic"
+        _encode_dynamic_factors(factors, arrays)
+    elif isinstance(factors, StaticLUFactors):
+        meta["factors"] = "static"
+        _encode_static_factors(factors, arrays)
+    else:
+        raise StoreFormatError(
+            f"unsupported factor container {type(factors).__name__}"
+        )
+    return meta, arrays
+
+
+def decode_factorized_system(
+    meta: Mapping[str, object], arrays: Mapping[str, np.ndarray]
+) -> FactorizedSystem:
+    """Decode a full system checkpoint back into a :class:`FactorizedSystem`."""
+    _require(meta.get("type") == "system", "not a system checkpoint")
+    n = int(meta["n"])
+    _require(n >= 0, "negative dimension")
+    matrix = decode_matrix(n, arrays)
+    ordering = _decode_ordering(meta, arrays)
+    container = meta.get("factors")
+    if container == "dynamic":
+        factors: object = _decode_dynamic_factors(n, arrays)
+    elif container == "static":
+        factors = _decode_static_factors(n, arrays)
+    else:
+        raise StoreFormatError(f"unknown factor container tag {container!r}")
+    return FactorizedSystem(matrix, ordering, factors)

@@ -219,3 +219,90 @@ class TestMeasureSeries:
         egs = growing_egs(nodes=10, snapshots=2, initial_edges=15, edges_per_step=2)
         with pytest.raises(MeasureError):
             MeasureSeries(egs, damping=0.0)
+
+
+class TestDampingDomains:
+    """Per-kind damping domains (regression for the Laplacian boundary).
+
+    ``core.quality.reuse_loss_bound`` documents the undamped Laplacian
+    composition ``A = I + L`` under the convention ``damping = 0.0``, but
+    ``Query.__post_init__`` used to reject 0.0 for *every* measure.  The
+    domain is now per matrix kind: Laplacian systems accept ``[0, 1)``
+    (the damping never enters the composition), everything else keeps the
+    strict ``(0, 1)``.
+    """
+
+    @pytest.fixture()
+    def laplacian_spec(self):
+        from repro.graphs.matrixkind import MatrixKind
+        from repro.query.spec import MeasureSpec, register_spec, unregister_spec
+
+        spec = register_spec(
+            MeasureSpec(
+                name="lap_boundary_test",
+                kind=MatrixKind.LAPLACIAN,
+                build_rhs=lambda snapshot, damping, params: np.ones(snapshot.n),
+                description="Laplacian smoke measure for the damping boundary",
+            )
+        )
+        yield spec
+        unregister_spec("lap_boundary_test")
+
+    def test_laplacian_query_accepts_zero_damping(self, tiny_graph, laplacian_spec):
+        from repro.query import QueryPlanner, make_query
+        from repro.query.spec import evaluate_block
+
+        query = make_query("lap_boundary_test", tiny_graph, damping=0.0)
+        assert query.damping == 0.0
+        batch = QueryPlanner().run([query])
+        block = evaluate_block("lap_boundary_test", tiny_graph, [{}], damping=0.0)
+        assert batch.results[0].tobytes() == block[:, 0].tobytes()
+
+    def test_laplacian_rejects_out_of_range(self, tiny_graph, laplacian_spec):
+        from repro.query import make_query
+
+        for bad in (1.0, -0.1, 1.5):
+            with pytest.raises(MeasureError):
+                make_query("lap_boundary_test", tiny_graph, damping=bad)
+
+    def test_walk_measures_keep_strict_open_interval(self, tiny_graph):
+        from repro.query import make_query
+
+        for bad in (0.0, 1.0):
+            with pytest.raises(MeasureError):
+                make_query("rwr", tiny_graph, damping=bad, start_node=0)
+            with pytest.raises(MeasureError):
+                make_query("pagerank", tiny_graph, damping=bad)
+
+    def test_matrix_builders_share_the_domain(self, tiny_graph):
+        from repro.graphs.matrixkind import MatrixKind, measure_matrix, system_delta
+
+        matrix = measure_matrix(tiny_graph, kind=MatrixKind.LAPLACIAN, damping=0.0)
+        assert matrix.n == tiny_graph.n
+        with pytest.raises(MeasureError):
+            measure_matrix(tiny_graph, kind=MatrixKind.LAPLACIAN, damping=1.5)
+        with pytest.raises(MeasureError):
+            measure_matrix(tiny_graph, kind=MatrixKind.RANDOM_WALK, damping=0.0)
+        # (2, 5) is new in both directions — it changes even the symmetrized
+        # Laplacian structure.
+        other = GraphSnapshot(
+            tiny_graph.n, set(tiny_graph.edges) | {(2, 5)}, directed=True
+        )
+        delta = system_delta(
+            tiny_graph, other, kind=MatrixKind.LAPLACIAN, damping=0.0
+        )
+        assert delta  # the new edge produced entry changes
+        with pytest.raises(MeasureError):
+            system_delta(tiny_graph, other, kind=MatrixKind.RANDOM_WALK, damping=1.0)
+
+    def test_server_accepts_laplacian_zero_damping(self, tiny_graph, laplacian_spec):
+        from repro.serve import MeasureServer
+
+        with MeasureServer(max_wait_ms=0) as server:
+            future = server.submit_measure(
+                "lap_boundary_test", tiny_graph, damping=0.0
+            )
+            answer = future.result(timeout=10)
+            assert answer.shape == (tiny_graph.n,)
+            with pytest.raises(MeasureError):
+                server.submit_measure("rwr", tiny_graph, damping=0.0, start_node=0)
