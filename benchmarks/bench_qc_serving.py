@@ -33,6 +33,7 @@ from typing import List, Tuple
 
 import numpy as np
 
+from _shared import percentile_of, track_memory
 from repro.graphs.snapshot import GraphSnapshot
 from repro.policy import QCPolicy
 from repro.query import BatchResult, QueryBatch, QueryPlanner
@@ -103,12 +104,13 @@ def main() -> None:
 
     chain = build_chain(args.nodes, args.snapshots, args.added, args.removed, args.seed)
 
-    exact_planner = QueryPlanner()
-    exact_times, exact_outcomes = serve(chain, exact_planner)
+    with track_memory() as memory:
+        exact_planner = QueryPlanner()
+        exact_times, exact_outcomes = serve(chain, exact_planner)
 
-    policy = QCPolicy(alpha=args.alpha, loss_bound=args.loss_bound)
-    qc_planner = QueryPlanner(policy=policy)
-    qc_times, qc_outcomes = serve(chain, qc_planner)
+        policy = QCPolicy(alpha=args.alpha, loss_bound=args.loss_bound)
+        qc_planner = QueryPlanner(policy=policy)
+        qc_times, qc_outcomes = serve(chain, qc_planner)
 
     exact_factorizations = sum(o.stats.factorizations for o in exact_outcomes)
     qc_factorizations = sum(o.stats.factorizations for o in qc_outcomes)
@@ -160,10 +162,23 @@ def main() -> None:
           f"({qc_factorizations} factorizations, {qc_reuses} QC reuses)")
     print(f"speedup                     : {speedup:9.2f}x   "
           f"(floor: {SPEEDUP_FLOOR}x)")
+    # Full per-query loss-estimate distribution across the run, not just the
+    # maximum: pooled from every batch's BatchResult.loss_estimates().
+    pooled_estimates = [
+        estimate
+        for outcome in qc_outcomes
+        for estimate in outcome.loss_estimates()
+    ]
+    loss_p50 = percentile_of(pooled_estimates, 0.50)
+    loss_p99 = percentile_of(pooled_estimates, 0.99)
+    print(f"loss estimates (per query)  : n={len(pooled_estimates)}  "
+          f"p50={loss_p50:.4f}  p99={loss_p99:.4f}  max={worst_estimate:.4f}")
     print(f"worst reported loss estimate: {worst_estimate:.4f}   "
           f"(bound {args.loss_bound})")
     print(f"worst actual rel-L1 deviation: {worst_actual:.2e}   "
           f"(within every estimate)")
+    print(f"peak RSS                    : {memory.peak_rss_mib:9.1f} MiB   "
+          f"(timeline: {memory.timeline_summary()})")
     print(f"QC planner cache_info       : {qc_planner.cache_info()}")
     if speedup < SPEEDUP_FLOOR:
         raise SystemExit(

@@ -24,7 +24,7 @@ from repro.graphs.egs import EvolvingGraphSequence
 from repro.graphs.ems import EvolvingMatrixSequence
 from repro.graphs.matrixkind import MatrixKind, system_delta
 from repro.graphs.snapshot import GraphSnapshot
-from repro.policy import ExactPolicy, QCPolicy, ReusePolicy
+from repro.policy import CorrectedPolicy, ExactPolicy, QCPolicy, ReusePolicy
 from repro.query import (
     ApproximationRecord,
     FactorCache,
@@ -61,6 +61,7 @@ __all__ = [
     "ReusePolicy",
     "ExactPolicy",
     "QCPolicy",
+    "CorrectedPolicy",
     "EMSSolver",
     "available_algorithms",
     "SerialExecutor",

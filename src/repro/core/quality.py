@@ -138,6 +138,36 @@ def reuse_loss_bound(entries, damping: float) -> float:
     return max(column_sums.values()) / (1.0 - damping)
 
 
+def residual_loss_bound(entries, applied_columns, damping: float) -> float:
+    """The :func:`reuse_loss_bound` of ``ΔA`` minus its applied columns.
+
+    Corrected reuse (:class:`~repro.policy.corrected.CorrectedPolicy`) folds
+    the dominant columns of ``ΔA`` into the answer exactly, via a rank-``k``
+    Sherman–Morrison–Woodbury solve over the parent's cached factors.  The
+    deviation that remains is governed by the *residual* delta — ``ΔA``
+    restricted to the columns **not** applied::
+
+        ‖x̃ - x‖₁ / ‖x‖₁  <=  ‖ΔA|_{cols ∉ applied}‖₁ / (1 - d)
+
+    The amplification constant ``1/(1 - d)`` is the corrected system's, but
+    because the applied columns replace old columns with new ones *wholesale*,
+    a column-wise mix of two column-substochastic matrices is itself
+    column-substochastic and the parent's constant carries over unchanged
+    (likewise the Laplacian's constant 1 — pass ``damping=0.0`` there, as for
+    :func:`reuse_loss_bound`).  Applying every column drives the bound to
+    exactly ``0.0``.
+    """
+    if not applied_columns:
+        return reuse_loss_bound(entries, damping)
+    applied = frozenset(applied_columns)
+    residual = {
+        position: value
+        for position, value in entries.items()
+        if position[1] not in applied
+    }
+    return reuse_loss_bound(residual, damping)
+
+
 class MarkowitzReference:
     """A cache of Markowitz reference sizes ``|s̃p(A_i*)|`` for an EMS.
 

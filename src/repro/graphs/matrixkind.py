@@ -341,6 +341,49 @@ def _laplacian_system_delta(
     return entries
 
 
+def damping_delta(
+    snapshot: GraphSnapshot,
+    kind: MatrixKind,
+    from_damping: float,
+    to_damping: float,
+) -> Entries:
+    """Return the entry delta of changing a system's damping factor only.
+
+    For the walk kinds ``A = I - d·M`` with ``M`` fixed by the snapshot, so::
+
+        A(to) - A(from) = (from - to) · M
+
+    — a delta supported on exactly the stored entries of ``M``, computable
+    without composing either full system matrix twice.  This is the
+    cross-damping reuse substrate: a cached ``(kind, snapshot, d')`` system
+    answering a miss at damping ``d`` is off by this delta, which the same
+    :func:`~repro.core.quality.reuse_loss_bound` machinery certifies (its
+    max column mass is ``|d' - d|·‖M‖₁ <= |d' - d|``).  The ``LAPLACIAN``
+    kind composes ``A = I + L`` with no damping term at all, so its delta is
+    empty — cross-damping reuse there is *exact*.
+    """
+    validate_damping(kind, from_damping)
+    validate_damping(kind, to_damping)
+    if kind is MatrixKind.LAPLACIAN or from_damping == to_damping:
+        return {}
+    if kind is MatrixKind.RANDOM_WALK:
+        walk = column_normalized_matrix(snapshot)
+    elif kind is MatrixKind.SYMMETRIC_WALK:
+        walk = symmetric_normalized_matrix(snapshot)
+    elif kind in (MatrixKind.SALSA_AUTHORITY, MatrixKind.SALSA_HUB):
+        walk = salsa_walk_matrix(snapshot, kind)
+    else:
+        raise MeasureError(f"unsupported matrix kind: {kind!r}")
+    scale = from_damping - to_damping
+    rows, cols, vals = walk.coo()
+    entries: Entries = {}
+    for row, col, value in zip(rows.tolist(), cols.tolist(), vals.tolist()):
+        change = scale * value
+        if change != 0.0:
+            entries[(row, col)] = change
+    return entries
+
+
 def system_delta(
     before: GraphSnapshot,
     after: GraphSnapshot,

@@ -10,6 +10,7 @@ from repro.lu.mindegree import (
     symmetric_markowitz_reference,
     symmetric_symbolic_size,
 )
+from repro.lu.smw import CONDITION_LIMIT, WoodburyCorrector
 from repro.lu.solve import (
     backward_substitution,
     backward_substitution_many,
@@ -55,6 +56,8 @@ __all__ = [
     "solve_reordered_system",
     "solve_reordered_system_many",
     "gaussian_elimination_solve",
+    "WoodburyCorrector",
+    "CONDITION_LIMIT",
     "factors_are_valid",
     "reconstruction_error",
     "solve_residual",

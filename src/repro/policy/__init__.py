@@ -17,14 +17,22 @@ inspected in one place, and extended by subclassing
 :class:`~repro.policy.base.ReusePolicy`.
 """
 
-from repro.policy.base import DECOMPOSITION_FLAVORS, ReuseDecision, ReusePolicy
+from repro.policy.base import (
+    DECOMPOSITION_FLAVORS,
+    CorrectionDecision,
+    ReuseDecision,
+    ReusePolicy,
+)
+from repro.policy.corrected import CorrectedPolicy
 from repro.policy.exact import ExactPolicy
 from repro.policy.qc import QCPolicy
 
 __all__ = [
     "DECOMPOSITION_FLAVORS",
+    "CorrectionDecision",
     "ReuseDecision",
     "ReusePolicy",
     "ExactPolicy",
     "QCPolicy",
+    "CorrectedPolicy",
 ]

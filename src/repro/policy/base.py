@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import abc
 import dataclasses
-from typing import TYPE_CHECKING, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 if TYPE_CHECKING:  # imported lazily at runtime to keep the package cycle-free
     from repro.core.clustering import MatrixCluster
@@ -66,6 +66,53 @@ class ReuseDecision:
         return (self.similarity, -self.loss_estimate) > (
             other.similarity,
             -other.loss_estimate,
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class CorrectionDecision:
+    """A policy's verdict that a rank-``k`` corrected answer is admissible.
+
+    Produced by :meth:`ReusePolicy.correct` for a concrete system delta
+    ``ΔA`` between a cached parent system and the miss's system.  The planner
+    then applies the ``columns`` of ``ΔA`` exactly via Sherman–Morrison–
+    Woodbury over the parent's cached factors and records ``loss_estimate``
+    — the certified bound on the *residual* deviation — in the batch result.
+
+    Attributes
+    ----------
+    similarity:
+        Snapshot similarity of the (parent, child) pair (``1.0`` for
+        cross-damping corrections, whose snapshots are content-identical).
+    loss_estimate:
+        Certified residual bound after applying ``columns``
+        (:func:`~repro.core.quality.residual_loss_bound`); within the
+        policy's declared bound by construction.
+    uncorrected_estimate:
+        The verbatim-reuse bound for the same pair — what
+        :func:`~repro.core.quality.reuse_loss_bound` certifies with no
+        correction at all.  Always ``>= loss_estimate``; the gap is the
+        quality bought by the rank-``k`` work.
+    rank:
+        Number of delta columns applied exactly (``k``); ``0`` means the
+        parent's answer already clears the bound verbatim.
+    columns:
+        The applied column indices, in application order (dominant first).
+    """
+
+    similarity: float
+    loss_estimate: float
+    uncorrected_estimate: float
+    rank: int
+    columns: Tuple[int, ...]
+
+    def preferable_to(self, other: "CorrectionDecision") -> bool:
+        """Deterministic ranking: cheapest rank, then tightest bound, then
+        highest similarity."""
+        return (-self.rank, -self.loss_estimate, self.similarity) > (
+            -other.rank,
+            -other.loss_estimate,
+            other.similarity,
         )
 
 
@@ -126,6 +173,34 @@ class ReusePolicy(abc.ABC):
         snapshots, when the caller has it (the planner computes one per
         candidate anyway for the fast similarity path).
         """
+
+    @property
+    def supports_correction(self) -> bool:
+        """``True`` when :meth:`correct` can license rank-``k`` corrected
+        answers.  The planner skips its corrected-reuse scan entirely when
+        this is ``False`` (the default), so existing policies are unaffected.
+        """
+        return False
+
+    def correct(
+        self,
+        entries: Dict[Tuple[int, int], float],
+        *,
+        amplifier_damping: float,
+        similarity: float,
+    ) -> Optional["CorrectionDecision"]:
+        """Gate a rank-``k`` SMW-corrected answer for a concrete delta.
+
+        ``entries`` is the sparse system delta ``ΔA = A_child - A_parent``
+        (:func:`~repro.graphs.matrixkind.system_delta` /
+        :func:`~repro.graphs.matrixkind.damping_delta` output) and
+        ``amplifier_damping`` the value to feed the bound machinery (``0.0``
+        for Laplacian systems, the damping factor otherwise — the caller owns
+        that per-kind mapping, as it does for verbatim reuse).  Returns a
+        :class:`CorrectionDecision` naming the columns to apply, or ``None``
+        to reject.  The default implementation rejects everything.
+        """
+        return None
 
     @abc.abstractmethod
     def decomposition_clusters(

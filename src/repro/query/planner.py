@@ -68,9 +68,10 @@ from repro.errors import (
 from repro.exec.executors import Executor, resolve_executor
 from repro.exec.plan import plan_factor_batch, plan_refresh_batch
 from repro.graphs.delta import GraphDelta
-from repro.graphs.matrixkind import system_delta
+from repro.graphs.matrixkind import MatrixKind, damping_delta, system_delta
 from repro.graphs.snapshot import GraphSnapshot
 from repro.lu.bennett import bennett_update
+from repro.lu.smw import WoodburyCorrector
 from repro.query.batch import QueryBatch
 from repro.query.spec import (
     FactorizedSystem,
@@ -86,7 +87,7 @@ from repro.sparse.types import Entries
 
 if TYPE_CHECKING:  # runtime import is lazy: repro.policy sits above core,
     # whose solver module imports this one (see QueryPlanner.__init__).
-    from repro.policy import ReuseDecision, ReusePolicy
+    from repro.policy import CorrectionDecision, ReuseDecision, ReusePolicy
     from repro.store.factorstore import FactorStore, RefreshProvenance
 
 #: Default ``refresh_threshold``: a system-matrix delta touching more than
@@ -678,6 +679,15 @@ class ApproximationRecord:
         :func:`repro.core.quality.reuse_loss_bound`.
     policy:
         Name of the policy that licensed the approximation.
+    rank:
+        Number of delta columns applied exactly by a Sherman–Morrison–
+        Woodbury correction over the parent's factors (``0`` for verbatim
+        reuse — the parent's answer served unchanged).
+    mode:
+        How the group was served: ``"verbatim"`` (step-2 policy reuse),
+        ``"corrected"`` (rank-``k`` corrected reuse across snapshots) or
+        ``"cross-damping"`` (same snapshot answered across damping factors,
+        possibly corrected).
     """
 
     positions: Tuple[int, ...]
@@ -686,6 +696,8 @@ class ApproximationRecord:
     similarity: float
     loss_estimate: float
     policy: str
+    rank: int = 0
+    mode: str = "verbatim"
 
 
 @dataclasses.dataclass(frozen=True)
@@ -739,9 +751,11 @@ class PlannerStats:
     distinct system matrix, ever.  ``refreshes`` counts miss groups answered
     by Bennett-updating a cached parent's factors; ``qc_reuses`` counts miss
     groups answered *from another system's factors unchanged* under an
-    approximate policy (no numerical work at all); ``result_hits`` counts
-    individual queries answered straight from the result cache without a
-    substitution sweep.
+    approximate policy (no numerical work at all); ``corrected_reuses``
+    counts miss groups answered through a rank-``k`` Sherman–Morrison–
+    Woodbury correction of a cached system (including rank-0 cross-damping
+    sharing); ``result_hits`` counts individual queries answered straight
+    from the result cache without a substitution sweep.
     """
 
     queries: int
@@ -751,6 +765,7 @@ class PlannerStats:
     direct_answers: int
     refreshes: int = 0
     qc_reuses: int = 0
+    corrected_reuses: int = 0
     result_hits: int = 0
 
 
@@ -785,6 +800,36 @@ class BatchResult:
             return 0.0
         return max(record.loss_estimate for record in self.approximations)
 
+    def loss_estimates(self) -> Tuple[float, ...]:
+        """Certified loss estimate of every approximate *query* in the batch.
+
+        One value per approximated batch position (a group's estimate covers
+        each of its queries), so the tuple is the per-answer loss
+        distribution — empty when nothing was approximated.
+        """
+        return tuple(
+            record.loss_estimate
+            for record in self.approximations
+            for _ in record.positions
+        )
+
+    def loss_estimate_percentile(self, fraction: float) -> float:
+        """Nearest-rank percentile of the per-query loss distribution.
+
+        ``fraction`` in ``[0, 1]`` (``0.5`` = p50, ``0.99`` = p99); returns
+        ``0.0`` when the batch carries no approximations, and the maximum at
+        ``fraction=1.0``.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise MeasureError(
+                f"percentile fraction must lie in [0, 1], got {fraction}"
+            )
+        estimates = sorted(self.loss_estimates())
+        if not estimates:
+            return 0.0
+        rank = max(1, int(np.ceil(fraction * len(estimates))))
+        return estimates[rank - 1]
+
     def approximate_positions(self) -> Tuple[int, ...]:
         """Sorted batch positions whose answers are policy approximations."""
         return tuple(sorted(
@@ -800,23 +845,36 @@ class QueryPlanner:
     A miss group is answered by the cheapest admissible source, in one fixed
     precedence order (each step falls through to the next):
 
-    1. **Factor-cache hit** — the key's own factors are cached.
+    1. **Factor-cache hit** — the key's own factors are cached (a store-
+       backed cache transparently restores from disk here).
     2. **Policy reuse** — an approximate :class:`~repro.policy.base.
        ReusePolicy` (e.g. :class:`~repro.policy.qc.QCPolicy`) licenses
        answering from a cached *similar* system's factors outright: no
        factorization, no refresh, an :class:`ApproximationRecord` in the
        batch result.  Exact policies skip this step entirely.
-    3. **Delta refresh** — a registered lineage (or, with ``auto_refresh``,
+    3. **Corrected reuse** — a correction-capable policy
+       (:class:`~repro.policy.corrected.CorrectedPolicy`) licenses
+       answering through a rank-``k`` Sherman–Morrison–Woodbury correction
+       of a cached system's factors (:class:`~repro.lu.smw.
+       WoodburyCorrector`): the ``k`` dominant columns of ``ΔA`` are applied
+       exactly, the *residual* delta is certified, at the cost of ``k``
+       extra triangular sweeps once plus a ``k×k`` dense solve per batch.
+       The candidate scan also covers **cross-damping** sharing: a cached
+       system over the *same snapshot* at a different damping factor, whose
+       delta ``(d' - d)·M`` the same machinery bounds.
+    4. **Delta refresh** — a registered lineage (or, with ``auto_refresh``,
        the nearest cached same-shape snapshot) Bennett-updates a clone of
        the parent's factors: near-exact, cheaper than cold.
-    4. **Cold factorization** — Markowitz + Crout, dispatched as executor
+    5. **Cold factorization** — Markowitz + Crout, dispatched as executor
        work units.
 
-    Policy reuse outranks refresh because it does zero numerical work and
-    the policy explicitly certifies the accepted loss; refresh outranks cold
-    because it is near-exact and cheaper.  Groups answered at steps 1–3
-    never reach the FACTOR unit fan-out; groups answered at step 2 skip the
-    REFRESH units as well.
+    Policy reuse outranks corrected reuse because it does zero numerical
+    work; corrected reuse outranks refresh because its setup cost is ``k``
+    sweeps instead of a full Bennett pass over the delta, and the policy
+    explicitly certifies the accepted loss; refresh outranks cold because it
+    is near-exact and cheaper.  Groups answered at steps 1–4 never reach the
+    FACTOR unit fan-out; groups answered at steps 2–3 skip the REFRESH units
+    as well.
 
     Parameters
     ----------
@@ -920,18 +978,26 @@ class QueryPlanner:
         self._reuse_memo: "OrderedDict[Tuple, Optional[Tuple[SystemKey, ReuseDecision]]]" = (
             OrderedDict()
         )
+        #: same keying and lifetime for the corrected-reuse scan; holds the
+        #: built corrector so steady-state batches skip its setup sweeps
+        self._corrected_memo: "OrderedDict[Tuple, Optional[Tuple]]" = OrderedDict()
+
+    def _clear_scan_memos(self) -> None:
+        self._reuse_memo.clear()
+        self._corrected_memo.clear()
 
     def _on_factor_invalidation(self, key: SystemKey) -> None:
         """React to a factor-cache change: drop derived answers, stale scans.
 
         Registered as a (weakly held) invalidation listener: any install,
         eviction or steal changes the candidate set the reuse policy scans,
-        so the scan memo is discarded wholesale, and the result cache drops
-        the answers derived from the affected key.
+        so the scan memos are discarded wholesale (the corrected memo also
+        holds correctors built over possibly-departed factors), and the
+        result cache drops the answers derived from the affected key.
         """
         if self._results is not None:
             self._results.invalidate_system(key)
-        self._reuse_memo.clear()
+        self._clear_scan_memos()
 
     def _on_factor_eviction(self, key: SystemKey) -> None:
         """React to a key leaving the factor cache: prune dead bookkeeping.
@@ -1010,7 +1076,7 @@ class QueryPlanner:
         self._snapshots[system] = snapshot
         # A new binding can make a candidate scoreable: stale negative scans
         # must not outlive it.
-        self._reuse_memo.clear()
+        self._clear_scan_memos()
 
     def _prune_stale_bindings(self) -> None:
         """Drop snapshot bindings no cached key can use any more.
@@ -1140,12 +1206,16 @@ class QueryPlanner:
             else:
                 systems[group.key] = cached
         reused, records, remaining = self._policy_reuse(misses)
+        corrected, corrected_records, remaining = self._corrected_reuse(remaining)
         refreshed, cold = self._refresh_misses(remaining)
         # Use the reused / refreshed / freshly factorized systems directly: a
         # size-bounded cache may already have evicted early ones by the time
         # the batch solves.
         systems.update(
             {key: system for key, (_, system) in reused.items()}
+        )
+        systems.update(
+            {key: solver for key, (_, solver) in corrected.items()}
         )
         systems.update(refreshed)
         systems.update(self._factorize(cold))
@@ -1155,14 +1225,24 @@ class QueryPlanner:
             # Approximate answers are cached under the PARENT's key (they
             # are, verbatim, that system's answers), never under the miss
             # key — a later exact answer for the miss key must not be
-            # shadowed by an approximation.
+            # shadowed by an approximation.  Rank-k corrected answers are a
+            # function of the *corrector* (parent factors + applied delta),
+            # not of any cached system, so they bypass the result cache
+            # entirely (cache_base None).
             reuse = reused.get(group.key)
+            correction = corrected.get(group.key)
+            if reuse is not None:
+                cache_base: Optional[SystemKey] = reuse[0]
+            elif correction is not None:
+                cache_base = correction[0]
+            else:
+                cache_base = group.key
             result_hits += self._answer_group(
                 group,
                 systems[group.key],
                 results,
-                cache_base=group.key if reuse is None else reuse[0],
-                approximate=reuse is not None,
+                cache_base=cache_base,
+                approximate=reuse is not None or correction is not None,
             )
         for direct in plan.direct:
             # Copy: the plan may be executed again, and callers own their
@@ -1176,10 +1256,13 @@ class QueryPlanner:
             direct_answers=len(plan.direct),
             refreshes=len(refreshed),
             qc_reuses=len(reused),
+            corrected_reuses=len(corrected),
             result_hits=result_hits,
         )
         return BatchResult(
-            results=list(results), stats=stats, approximations=tuple(records)
+            results=list(results),
+            stats=stats,
+            approximations=tuple(records) + tuple(corrected_records),
         )
 
     def run(self, batch: Union[QueryBatch, Sequence[Query]]) -> BatchResult:
@@ -1256,7 +1339,7 @@ class QueryPlanner:
         group: PlannedGroup,
         system: FactorizedSystem,
         results: List[Optional[np.ndarray]],
-        cache_base: SystemKey,
+        cache_base: Optional[SystemKey],
         approximate: bool,
     ) -> int:
         """Answer one group into ``results``; return the result-cache hits.
@@ -1271,19 +1354,22 @@ class QueryPlanner:
         (``approximate``) groups — a pure spec's answer from the parent's
         factors is, byte for byte, the parent's own answer for that RHS, so
         the entries are shared with the parent's exact traffic and repeated
-        approximate batches skip the solve.  Specs with a transform or
-        normalization bypass the cache in approximate groups (their finalize
-        step may read the query's own snapshot).  Stores require the base
-        key's factors to still be cached — a bounded factor cache may have
-        evicted them mid-batch, and an entry stored after its key's
-        invalidation event would outlive its factors.
+        approximate batches skip the solve.  ``None`` disables result
+        caching for the group: rank-``k`` corrected answers come from an
+        ephemeral corrector, not from any cached system's factors, so no
+        cached key may own them.  Specs with a transform or normalization
+        bypass the cache in approximate groups (their finalize step may read
+        the query's own snapshot).  Stores require the base key's factors to
+        still be cached — a bounded factor cache may have evicted them
+        mid-batch, and an entry stored after its key's invalidation event
+        would outlive its factors.
         """
         block = self._assemble_rhs_block(group)
         answers: Dict[int, np.ndarray] = {}
         keys: List[Optional[ResultKey]] = [None] * group.size
         pending: List[int] = []
         hits = 0
-        if self._results is not None:
+        if self._results is not None and cache_base is not None:
             for column, query in enumerate(group.queries):
                 spec = get_spec(query.measure)
                 if approximate and (spec.transform is not None or spec.normalize):
@@ -1300,7 +1386,11 @@ class QueryPlanner:
         else:
             pending = list(range(group.size))
         if pending:
-            storable = self._results is not None and cache_base in self._cache
+            storable = (
+                self._results is not None
+                and cache_base is not None
+                and cache_base in self._cache
+            )
             sub_block = block if len(pending) == group.size else block[:, pending]
             solutions = system.solve_many(sub_block)
             for offset, column in enumerate(pending):
@@ -1427,6 +1517,191 @@ class QueryPlanner:
         while len(self._reuse_memo) > self._REUSE_MEMO_LIMIT:
             self._reuse_memo.popitem(last=False)
         return best
+
+    # ------------------------------------------------------------------ #
+    # Corrected reuse (precedence step 3)
+    # ------------------------------------------------------------------ #
+    def _corrected_reuse(
+        self, groups: Sequence[PlannedGroup]
+    ) -> Tuple[
+        Dict[SystemKey, Tuple[Optional[SystemKey], FactorizedSystem]],
+        List[ApproximationRecord],
+        List[PlannedGroup],
+    ]:
+        """Answer miss groups via rank-``k`` SMW correction, where licensed.
+
+        Returns ``(cache_base, solver)`` pairs keyed by the miss group's key
+        — the solver is the parent's own :class:`FactorizedSystem` for
+        rank-0 decisions (pure sharing, result-cacheable under the parent's
+        key like verbatim reuse) or a :class:`~repro.lu.smw.
+        WoodburyCorrector` for rank ``>= 1`` (``cache_base`` ``None``: the
+        corrected answer belongs to no cached system) — plus the audit
+        records and the groups falling through to refresh / cold.  Like
+        verbatim reuse, nothing is installed in the factor cache.
+        """
+        if not groups or not getattr(self._policy, "supports_correction", False):
+            return {}, [], list(groups)
+        corrected: Dict[SystemKey, Tuple[Optional[SystemKey], FactorizedSystem]] = {}
+        records: List[ApproximationRecord] = []
+        remaining: List[PlannedGroup] = []
+        for group in groups:
+            found = self._corrected_candidate(group)
+            if found is None:
+                remaining.append(group)
+                continue
+            parent_key, decision, mode, solver, cache_base = found
+            if decision.rank == 0 and self._cache.peek(parent_key) is None:
+                # pragma: no cover - memo cleared on eviction
+                remaining.append(group)
+                continue
+            # Freshen recency (the parent's factors are in active use; a
+            # rank-k corrector reads them on every batch) without touching
+            # the pinned per-group hit/miss accounting.
+            self._cache.touch(parent_key)
+            corrected[group.key] = (cache_base, solver)
+            records.append(ApproximationRecord(
+                positions=group.positions,
+                system=group.key.system,
+                parent_system=parent_key.system,
+                similarity=decision.similarity,
+                loss_estimate=decision.loss_estimate,
+                policy=self._policy.name,
+                rank=decision.rank,
+                mode=mode,
+            ))
+        return corrected, records, remaining
+
+    def _corrected_candidate(self, group: PlannedGroup) -> Optional[Tuple]:
+        """Scan cached systems for the best admissible corrected stand-in.
+
+        Two candidate families share the scan, the bound machinery and the
+        memo:
+
+        * **same damping, different snapshot** — the step-2 scan's
+          candidates, but judged by :meth:`~repro.policy.base.ReusePolicy.
+          correct` against the *residual* of ``ΔA = system_delta(parent,
+          child)`` after its ``k`` dominant columns, instead of against the
+          full delta;
+        * **same snapshot, different damping** — a cached ``(kind, snapshot,
+          d')`` system whose delta to the miss is ``(d' - d)·M``
+          (:func:`~repro.graphs.matrixkind.damping_delta`).  The corrected
+          system mixes columns damped at ``d`` and ``d'``, so the
+          conservative amplification constant ``1/(1 - max(d, d'))`` is
+          certified (the Laplacian ignores damping entirely: its delta is
+          empty and the reuse exact).
+
+        The memo entry holds the *built* corrector (its setup sweeps are the
+        expensive part), so steady-state repeated batches pay them once; any
+        factor-cache change clears the memo, which also guarantees a held
+        corrector never outlives the factors it wraps.  A candidate whose
+        capacitance is singular or ill-conditioned is discarded (falls
+        through to refresh / cold) rather than served.
+        """
+        key = group.key
+        if key.matrix_builder is not None or key.matrix_params:
+            return None
+        certifies = getattr(self._policy, "certifies_kind", None)
+        if certifies is not None and not certifies(key.kind):
+            return None
+        child = group.queries[0].snapshot
+        memo_key = (key.kind, key.damping, child)
+        if memo_key in self._corrected_memo:
+            self._corrected_memo.move_to_end(memo_key)
+            return self._corrected_memo[memo_key]
+        from repro.core.similarity import snapshot_similarity
+
+        best: Optional[Tuple[SystemKey, "CorrectionDecision", str, Entries]] = None
+        for candidate in self._cache.keys():
+            if (
+                candidate.kind is not key.kind
+                or candidate.matrix_params
+                or candidate.matrix_builder is not None
+            ):
+                continue
+            parent = self._snapshot_of(candidate)
+            if parent is None or parent.n != child.n:
+                continue
+            if candidate.damping == key.damping:
+                if not self._policy.prefilter(parent, child):
+                    continue
+                delta = GraphDelta.between(parent, child)
+                similarity = snapshot_similarity(parent, child, delta=delta)
+                entries = system_delta(
+                    parent, child, kind=key.kind, damping=key.damping, delta=delta
+                )
+                mode = "corrected"
+                amplifier = (
+                    0.0 if key.kind is MatrixKind.LAPLACIAN else key.damping
+                )
+            else:
+                if parent != child:
+                    continue
+                entries = damping_delta(
+                    child,
+                    key.kind,
+                    from_damping=candidate.damping,
+                    to_damping=key.damping,
+                )
+                similarity = 1.0
+                mode = "cross-damping"
+                amplifier = (
+                    0.0
+                    if key.kind is MatrixKind.LAPLACIAN
+                    else max(key.damping, candidate.damping)
+                )
+            decision = self._policy.correct(
+                entries, amplifier_damping=amplifier, similarity=similarity
+            )
+            if decision is None:
+                continue
+            if best is None or decision.preferable_to(best[1]):
+                best = (candidate, decision, mode, entries)
+        found = None if best is None else self._build_correction(*best)
+        self._corrected_memo[memo_key] = found
+        while len(self._corrected_memo) > self._REUSE_MEMO_LIMIT:
+            self._corrected_memo.popitem(last=False)
+        return found
+
+    def _build_correction(
+        self,
+        parent_key: SystemKey,
+        decision: "CorrectionDecision",
+        mode: str,
+        entries: Entries,
+    ) -> Optional[Tuple]:
+        """Materialize a licensed correction into a servable solver.
+
+        Rank 0 needs no numerical setup: the parent's system answers as-is
+        (verbatim-grade sharing, cache base = parent key).  Rank ``k``
+        gathers the decision's columns of ``ΔA`` into a dense ``(n, k)``
+        update block and builds the :class:`~repro.lu.smw.WoodburyCorrector`
+        (``k`` triangular sweeps + the capacitance factorization, paid once
+        per memo lifetime).  Returns ``None`` when the parent vanished or
+        the capacitance check fails — the group then falls through to
+        refresh / cold, never serving an uncertified answer.
+        """
+        parent_system = self._cache.peek(parent_key)
+        if parent_system is None:  # pragma: no cover - scan just saw the key
+            return None
+        if decision.rank == 0:
+            return (parent_key, decision, mode, parent_system, parent_key)
+        n = parent_system.matrix.n
+        update = np.zeros((n, decision.rank), dtype=float)
+        offsets = {column: t for t, column in enumerate(decision.columns)}
+        for (row, column), value in entries.items():
+            t = offsets.get(column)
+            if t is not None:
+                update[row, t] += value
+        try:
+            corrector = WoodburyCorrector(
+                parent_system.factors,
+                parent_system.ordering,
+                update,
+                decision.columns,
+            )
+        except SingularMatrixError:
+            return None
+        return (parent_key, decision, mode, corrector, None)
 
     # ------------------------------------------------------------------ #
     # Delta-refresh fan-out

@@ -106,8 +106,14 @@ class ServerStats:
     approximations_served:
         Requests answered from another system's factors under the reuse
         policy (lifetime count).
+    corrected_served:
+        The subset of ``approximations_served`` answered through the
+        corrected-reuse tier (rank-``k`` SMW correction or cross-damping
+        sharing — any :class:`~repro.query.planner.ApproximationRecord`
+        whose ``mode`` is not ``"verbatim"``; lifetime count).
     recent_approximations:
-        The planner's audit records for the most recent approximate batches.
+        The planner's audit records for the most recent approximate batches
+        (each carries its ``rank`` and ``mode`` audit fields).
     planner_cache_info:
         ``QueryPlanner.cache_info()`` at snapshot time (factor + result
         cache counters).
@@ -125,6 +131,7 @@ class ServerStats:
     solve_latency: LatencySummary
     total_latency: LatencySummary
     approximations_served: int
+    corrected_served: int
     recent_approximations: Tuple[ApproximationRecord, ...]
     planner_cache_info: Dict[str, int]
 
@@ -158,6 +165,7 @@ class StatsCollector:
         self.updates_admitted = 0
         self.batch_size_histogram: Dict[int, int] = {}
         self.approximations_served = 0
+        self.corrected_served = 0
         self._records: Deque[RequestRecord] = deque(maxlen=history)
         self._recent_approximations: Deque[ApproximationRecord] = deque(maxlen=64)
 
@@ -177,6 +185,8 @@ class StatsCollector:
         for record in approximations:
             self._recent_approximations.append(record)
             self.approximations_served += len(record.positions)
+            if record.mode != "verbatim":
+                self.corrected_served += len(record.positions)
 
     def records(self) -> List[RequestRecord]:
         """The retained per-request records, oldest first."""
@@ -198,6 +208,7 @@ class StatsCollector:
             solve_latency=LatencySummary.of([r.solve for r in records]),
             total_latency=LatencySummary.of([r.total for r in records]),
             approximations_served=self.approximations_served,
+            corrected_served=self.corrected_served,
             recent_approximations=tuple(self._recent_approximations),
             planner_cache_info=dict(planner_cache_info or {}),
         )
