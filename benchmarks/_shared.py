@@ -19,7 +19,7 @@ import contextlib
 import functools
 import threading
 import time
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 from repro.bench.runner import AlgorithmReport, WorkloadRunner
 from repro.bench.workloads import Workload

@@ -1,0 +1,179 @@
+"""Localized SALSA system deltas vs full matrix recomposition + diff.
+
+The SALSA system matrices are two-hop compositions (``A = I - d(FB)`` /
+``I - d(BF)``), so the historical way to get the Bennett entry delta between
+two snapshots was to compose *both* full ``n x n`` products and diff them —
+cost growing with the graph, even for a handful of changed edges.  The
+localized provider (:func:`repro.graphs.matrixkind.system_delta`) instead
+recomputes only the product columns reachable from the touched nodes
+through the same spgemm kernel on column-restricted operands, which keeps
+every retained entry bitwise identical to the full diff.
+
+This benchmark drives both paths over the same random evolutions and
+checks three things:
+
+* **exactness** — the localized delta equals the full composed-matrix diff
+  bit for bit, entry set and float payloads, for both SALSA kinds;
+* **|Δ|-scaling** — at a fixed edge delta, growing the graph inflates the
+  localized cost far slower than the full-diff cost (the full path pays two
+  whole-graph spgemm compositions; the localized path pays the delta's
+  two-hop neighbourhood plus linear edge scans);
+* **a speedup floor** at the largest size (CI smoke gate).
+
+Runs standalone in a few seconds::
+
+    PYTHONPATH=src python benchmarks/bench_salsa_delta.py
+    PYTHONPATH=src python benchmarks/bench_salsa_delta.py --sizes 200 400 800 1600
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.graphs.matrixkind import MatrixKind, measure_matrix, system_delta
+from repro.graphs.snapshot import GraphSnapshot
+
+KINDS = (MatrixKind.SALSA_AUTHORITY, MatrixKind.SALSA_HUB)
+
+
+def build_evolution(
+    nodes: int, delta_edges: int, seed: int
+) -> Tuple[GraphSnapshot, GraphSnapshot]:
+    """A random digraph (average degree ~3) and a small-edge-delta successor."""
+    rng = np.random.default_rng(seed)
+    edges = set()
+    while len(edges) < 3 * nodes:
+        u, v = rng.integers(0, nodes, size=2)
+        if u != v:
+            edges.add((int(u), int(v)))
+    before = GraphSnapshot(nodes, edges, directed=True)
+    existing = sorted(edges)
+    removed = {
+        existing[int(rng.integers(0, len(existing)))]
+        for _ in range(delta_edges // 2)
+    }
+    added = set()
+    while len(added) < delta_edges - len(removed):
+        u, v = rng.integers(0, nodes, size=2)
+        if u != v and (int(u), int(v)) not in edges:
+            added.add((int(u), int(v)))
+    return before, before.with_edges(added=added, removed=removed)
+
+
+def time_once(thunk, repeats: int) -> Tuple[float, object]:
+    """Median wall time over ``repeats`` runs, plus the (identical) result."""
+    times: List[float] = []
+    result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = thunk()
+        times.append(time.perf_counter() - started)
+    return float(np.median(times)), result
+
+
+def compare_at_size(
+    nodes: int, delta_edges: int, damping: float, seed: int, repeats: int
+) -> Dict[str, float]:
+    """Time both delta paths at one size; verify bitwise equality."""
+    before, after = build_evolution(nodes, delta_edges, seed)
+    localized_total = 0.0
+    full_total = 0.0
+    entries = 0
+    for kind in KINDS:
+        localized_time, localized = time_once(
+            lambda: system_delta(before, after, kind, damping), repeats
+        )
+        full_time, full = time_once(
+            lambda: measure_matrix(before, kind, damping).delta_entries(
+                measure_matrix(after, kind, damping)
+            ),
+            repeats,
+        )
+        if set(localized) != set(full):
+            raise SystemExit(
+                f"FAIL: entry sets differ at n={nodes} kind={kind.value}"
+            )
+        for position, value in full.items():
+            if localized[position].hex() != value.hex():
+                raise SystemExit(
+                    f"FAIL: entry {position} differs at n={nodes} "
+                    f"kind={kind.value}: {localized[position].hex()} "
+                    f"vs {value.hex()}"
+                )
+        localized_total += localized_time
+        full_total += full_time
+        entries += len(full)
+    return {
+        "localized": localized_total,
+        "full": full_total,
+        "entries": entries,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sizes", type=int, nargs="+", default=[200, 400, 800],
+                        help="graph sizes to sweep at a fixed edge delta")
+    parser.add_argument("--delta-edges", type=int, default=6,
+                        help="changed edges between the two snapshots")
+    parser.add_argument("--damping", type=float, default=0.85)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repeats per measurement (median)")
+    parser.add_argument("--speedup-floor", type=float, default=1.5,
+                        help="required localized-vs-full speedup at the largest size")
+    args = parser.parse_args()
+    sizes = sorted(args.sizes)
+
+    print(f"localized vs full SALSA system delta (both kinds, "
+          f"|delta|={args.delta_edges} edges, d={args.damping}, "
+          f"median of {args.repeats}):")
+    rows = []
+    for nodes in sizes:
+        row = compare_at_size(
+            nodes, args.delta_edges, args.damping, args.seed, args.repeats
+        )
+        rows.append(row)
+        print(f"  n={nodes:5d}: localized {row['localized'] * 1e3:8.2f} ms   "
+              f"full {row['full'] * 1e3:8.2f} ms   "
+              f"speedup {row['full'] / row['localized']:6.2f}x   "
+              f"({row['entries']} delta entries)")
+
+    print(f"\nlocalized cost vs |delta| at fixed n={sizes[-1]}:")
+    for delta_edges in (2, args.delta_edges, 4 * args.delta_edges):
+        row = compare_at_size(
+            sizes[-1], delta_edges, args.damping, args.seed + delta_edges,
+            args.repeats,
+        )
+        print(f"  |delta|={delta_edges:3d}: localized "
+              f"{row['localized'] * 1e3:8.2f} ms   "
+              f"({row['entries']} delta entries)")
+
+    localized_growth = rows[-1]["localized"] / rows[0]["localized"]
+    full_growth = rows[-1]["full"] / rows[0]["full"]
+    speedup = rows[-1]["full"] / rows[-1]["localized"]
+    scale = sizes[-1] / sizes[0]
+    print(f"\ngrowing n by {scale:.0f}x grew the localized cost "
+          f"{localized_growth:.2f}x and the full-diff cost {full_growth:.2f}x")
+    print(f"speedup at n={sizes[-1]}: {speedup:.2f}x "
+          f"(floor: {args.speedup_floor:.1f}x)")
+    print("every localized delta matched the full composed-matrix diff "
+          "bitwise (entry sets and float payloads, both SALSA kinds)")
+
+    if speedup < args.speedup_floor:
+        raise SystemExit(f"FAIL: speedup {speedup:.2f}x below the "
+                         f"{args.speedup_floor:.1f}x floor")
+    if localized_growth >= full_growth:
+        raise SystemExit(
+            f"FAIL: localized cost grew {localized_growth:.2f}x over the size "
+            f"sweep, not slower than the full diff's {full_growth:.2f}x"
+        )
+    print("PASS")
+
+
+if __name__ == "__main__":
+    main()

@@ -15,7 +15,6 @@ Run with::
 from __future__ import annotations
 
 from repro.analysis import predict_links
-from repro.graphs import EvolvingGraphSequence
 from repro.graphs.generators import generate_synthetic_egs, SyntheticEGSConfig
 
 

@@ -22,7 +22,13 @@ from repro.exec import ParallelExecutor, SerialExecutor
 from repro.graphs.delta import GraphDelta
 from repro.graphs.egs import EvolvingGraphSequence
 from repro.graphs.ems import EvolvingMatrixSequence
-from repro.graphs.matrixkind import MatrixKind, system_delta
+from repro.graphs.matrixkind import (
+    MatrixKind,
+    delta_provider,
+    register_delta_provider,
+    registered_delta_kinds,
+    system_delta,
+)
 from repro.graphs.snapshot import GraphSnapshot
 from repro.policy import CorrectedPolicy, ExactPolicy, QCPolicy, ReusePolicy
 from repro.query import (
@@ -32,6 +38,8 @@ from repro.query import (
     Query,
     QueryBatch,
     QueryPlanner,
+    ResolutionLadder,
+    ResolutionTier,
     ResultCache,
     registered_measures,
 )
@@ -54,6 +62,9 @@ __all__ = [
     "EvolvingMatrixSequence",
     "MatrixKind",
     "system_delta",
+    "delta_provider",
+    "register_delta_provider",
+    "registered_delta_kinds",
     "FactorCache",
     "FactorStore",
     "ResultCache",
@@ -70,6 +81,8 @@ __all__ = [
     "Query",
     "QueryBatch",
     "QueryPlanner",
+    "ResolutionLadder",
+    "ResolutionTier",
     "registered_measures",
     "MeasureServer",
     "ServerStats",

@@ -7,7 +7,7 @@ similarity ``mes``, the cluster bounding patterns ``A_∩`` (intersection) and
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.errors import ClusteringError, DimensionError
 from repro.graphs.delta import GraphDelta, snapshot_edit_similarity

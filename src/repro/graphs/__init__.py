@@ -11,8 +11,12 @@ from repro.graphs.generators import (
 from repro.graphs.io import load_egs, save_egs
 from repro.graphs.matrixkind import (
     DEFAULT_DAMPING,
+    DeltaProvider,
     MatrixKind,
+    delta_provider,
     measure_matrix,
+    register_delta_provider,
+    registered_delta_kinds,
     system_delta,
 )
 from repro.graphs.snapshot import GraphSnapshot
@@ -26,6 +30,10 @@ __all__ = [
     "MatrixKind",
     "measure_matrix",
     "system_delta",
+    "DeltaProvider",
+    "delta_provider",
+    "register_delta_provider",
+    "registered_delta_kinds",
     "touched_nodes",
     "touched_sources",
     "DEFAULT_DAMPING",

@@ -33,13 +33,25 @@ positions: the node's whole normalized column (or incident entries, for the
 symmetric kinds) is replaced, which is why the builders work from
 :func:`~repro.graphs.delta.touched_sources` / touched nodes rather than the
 raw edge delta.
+
+Delta computation dispatches through a per-kind **provider registry**
+(:func:`register_delta_provider` / :func:`delta_provider`): each
+:class:`MatrixKind` registers one callable computing its localized system
+delta, and :func:`system_delta` is a thin validated dispatcher.  Extending
+the library with a new kind therefore means registering a provider, not
+editing a closed if/elif chain.  The SALSA kinds use a *localized two-hop*
+provider: the composed product ``F B`` (or ``B F``) only changes in columns
+reachable from the touched nodes, so the provider recomputes exactly those
+columns through the same spgemm kernel — bitwise identical to diffing the
+two fully-composed matrices, at a cost that scales with the graph change
+rather than the graph.
 """
 
 from __future__ import annotations
 
 import enum
 import math
-from typing import Dict, Optional, Set, Tuple
+from typing import Callable, Dict, Optional, Set, Tuple
 
 import numpy as np
 
@@ -319,9 +331,13 @@ def _symmetric_walk_system_delta(
 
 
 def _laplacian_system_delta(
-    before: GraphSnapshot, after: GraphSnapshot, delta: GraphDelta
+    before: GraphSnapshot, after: GraphSnapshot, damping: float, delta: GraphDelta
 ) -> Entries:
-    """Delta of ``I + L``: degree diagonal of touched nodes plus ∓1 off-diagonals."""
+    """Delta of ``I + L``: degree diagonal of touched nodes plus ∓1 off-diagonals.
+
+    ``damping`` is accepted for provider-signature uniformity and ignored —
+    the Laplacian composition has no damping term.
+    """
     und_old = _undirected_edges(before)
     und_new = _undirected_edges(after)
     changed = und_old ^ und_new
@@ -339,6 +355,120 @@ def _laplacian_system_delta(
         entries[(u, v)] = change
         entries[(v, u)] = change
     return entries
+
+
+def _salsa_system_delta(
+    before: GraphSnapshot,
+    after: GraphSnapshot,
+    damping: float,
+    delta: GraphDelta,
+    kind: MatrixKind,
+) -> Entries:
+    """Localized delta of the two-hop SALSA system ``A = I - d (F B)`` / ``I - d (B F)``.
+
+    A changed edge ``(u, v)`` rescales column ``u`` of the forward walk ``F``
+    (``u``'s out-degree changed) and column ``v`` of the backward walk ``B``
+    (``v``'s in-degree changed).  A column ``j`` of the *product* can only
+    change when one of its inputs changed: for the authority chain
+    ``P = F B``, column ``j`` reads ``B[:, j]`` (support: predecessors of
+    ``j``) and ``F[:, k]`` for each predecessor ``k`` — so the affected
+    columns are the in-touched nodes plus the successors of the out-touched
+    nodes, a two-hop neighbourhood of the delta, not the graph.
+
+    The affected columns are then recomputed through the *same* kernels the
+    full composition uses — ``from_triples`` → spgemm → ``scale`` →
+    ``subtract`` → ``delta_entries`` — on column-restricted operands.  The
+    spgemm kernel accumulates each output entry from contributions ordered
+    row-major over its left operand with ``k`` increasing; restricting the
+    operands to the contributing columns drops no contribution of a retained
+    output column and reorders none, so every recomputed entry is **bitwise
+    identical** to the corresponding entry of the fully-composed product,
+    and the reported delta equals the full-matrix diff exactly.
+    """
+    changed = delta.added | delta.removed
+    touched_out = {u for u, _ in changed}
+    touched_in = {v for _, v in changed}
+    all_edges = before.edges | after.edges
+    if kind is MatrixKind.SALSA_AUTHORITY:
+        # P = F @ B: column j reads B[:, j] and F[:, k] for k in preds(j).
+        affected = set(touched_in)
+        for u, v in all_edges:
+            if u in touched_out:
+                affected.add(v)
+        middles = {u for u, v in all_edges if v in affected}
+    elif kind is MatrixKind.SALSA_HUB:
+        # P = B @ F: column j reads F[:, j] and B[:, k] for k in succ(j).
+        affected = set(touched_out)
+        for u, v in all_edges:
+            if v in touched_in:
+                affected.add(u)
+        middles = {v for u, v in all_edges if u in affected}
+    else:
+        raise MeasureError(f"not a SALSA matrix kind: {kind!r}")
+    if not affected:
+        return {}
+
+    def restricted_system(snapshot: GraphSnapshot) -> SparseMatrix:
+        # Same float expressions as column_normalized_matrix /
+        # backward_normalized_matrix, on the contributing columns only.
+        out_degrees = snapshot.out_degrees()
+        in_degrees = snapshot.in_degrees()
+        if kind is MatrixKind.SALSA_AUTHORITY:
+            left = SparseMatrix.from_triples(
+                snapshot.n,
+                (
+                    (v, u, 1.0 / out_degrees[u])
+                    for u, v in snapshot.edges
+                    if u in middles
+                ),
+            )
+            right = SparseMatrix.from_triples(
+                snapshot.n,
+                (
+                    (u, v, 1.0 / in_degrees[v])
+                    for u, v in snapshot.edges
+                    if v in affected
+                ),
+            )
+        else:
+            left = SparseMatrix.from_triples(
+                snapshot.n,
+                (
+                    (u, v, 1.0 / in_degrees[v])
+                    for u, v in snapshot.edges
+                    if v in middles
+                ),
+            )
+            right = SparseMatrix.from_triples(
+                snapshot.n,
+                (
+                    (v, u, 1.0 / out_degrees[u])
+                    for u, v in snapshot.edges
+                    if u in affected
+                ),
+            )
+        identity = SparseMatrix.from_triples(
+            snapshot.n, ((j, j, 1.0) for j in affected)
+        )
+        return identity.subtract(left.multiply(right).scale(damping))
+
+    return restricted_system(before).delta_entries(restricted_system(after))
+
+
+def _salsa_authority_system_delta(
+    before: GraphSnapshot, after: GraphSnapshot, damping: float, delta: GraphDelta
+) -> Entries:
+    """Localized delta of ``I - d (F B)`` (see :func:`_salsa_system_delta`)."""
+    return _salsa_system_delta(
+        before, after, damping, delta, MatrixKind.SALSA_AUTHORITY
+    )
+
+
+def _salsa_hub_system_delta(
+    before: GraphSnapshot, after: GraphSnapshot, damping: float, delta: GraphDelta
+) -> Entries:
+    """Localized delta of ``I - d (B F)`` (see :func:`_salsa_system_delta`)."""
+    return _salsa_system_delta(before, after, damping, delta, MatrixKind.SALSA_HUB)
 
 
 def damping_delta(
@@ -384,6 +514,63 @@ def damping_delta(
     return entries
 
 
+#: Signature of a per-kind system-delta provider: ``(before, after, damping,
+#: delta) -> Entries``.  ``delta`` is always the non-empty
+#: :class:`~repro.graphs.delta.GraphDelta` between the snapshots (the empty
+#: case is short-circuited by :func:`system_delta` before dispatch), and the
+#: returned entries must equal the full composed-matrix diff bitwise.
+DeltaProvider = Callable[[GraphSnapshot, GraphSnapshot, float, GraphDelta], Entries]
+
+_DELTA_PROVIDERS: Dict[MatrixKind, DeltaProvider] = {}
+
+
+def register_delta_provider(
+    kind: MatrixKind, provider: DeltaProvider
+) -> DeltaProvider:
+    """Register (or replace) the system-delta provider for one matrix kind.
+
+    The provider contract: called only with two same-``n`` snapshots, a
+    validated damping factor and a *non-empty* delta, it returns the sparse
+    entry delta ``measure_matrix(after) - measure_matrix(before)`` —
+    **bitwise equal** to composing both full matrices and diffing them
+    (:meth:`~repro.sparse.csr.SparseMatrix.delta_entries`), since refresh
+    provenance replays and the Bennett update path both assume the delta is
+    exactly the matrix difference.  Returns ``provider`` so the function is
+    usable as a decorator factory argument.
+    """
+    if not isinstance(kind, MatrixKind):
+        raise MeasureError(f"not a MatrixKind: {kind!r}")
+    _DELTA_PROVIDERS[kind] = provider
+    return provider
+
+
+def delta_provider(kind: MatrixKind) -> DeltaProvider:
+    """Return the registered system-delta provider for ``kind``.
+
+    Raises :class:`~repro.errors.MeasureError` for kinds without a provider
+    (the registry replaces the historical closed if/elif dispatch, so an
+    unregistered kind is the "unsupported" case).
+    """
+    provider = _DELTA_PROVIDERS.get(kind)
+    if provider is None:
+        raise MeasureError(
+            f"no system-delta provider registered for matrix kind: {kind!r}"
+        )
+    return provider
+
+
+def registered_delta_kinds() -> Tuple[MatrixKind, ...]:
+    """The matrix kinds with a registered system-delta provider."""
+    return tuple(_DELTA_PROVIDERS)
+
+
+register_delta_provider(MatrixKind.RANDOM_WALK, _random_walk_system_delta)
+register_delta_provider(MatrixKind.SYMMETRIC_WALK, _symmetric_walk_system_delta)
+register_delta_provider(MatrixKind.LAPLACIAN, _laplacian_system_delta)
+register_delta_provider(MatrixKind.SALSA_AUTHORITY, _salsa_authority_system_delta)
+register_delta_provider(MatrixKind.SALSA_HUB, _salsa_hub_system_delta)
+
+
 def system_delta(
     before: GraphSnapshot,
     after: GraphSnapshot,
@@ -393,12 +580,14 @@ def system_delta(
 ) -> Entries:
     """Return the sparse entry delta ``measure_matrix(after) - measure_matrix(before)``.
 
-    For the locally-normalized kinds (``RANDOM_WALK``, ``SYMMETRIC_WALK``,
-    ``LAPLACIAN``) the delta is computed from the touched nodes alone, so the
-    cost scales with the graph change rather than the graph.  The SALSA kinds
-    compose two-hop walk products, where one changed edge perturbs entries
-    two steps away; they fall back to diffing the two composed matrices
-    (still far cheaper than a factorization).
+    Dispatches to the per-kind provider registry
+    (:func:`register_delta_provider`).  Every built-in provider is
+    *localized*: for the locally-normalized kinds (``RANDOM_WALK``,
+    ``SYMMETRIC_WALK``, ``LAPLACIAN``) the delta is computed from the
+    touched nodes alone, and the two-hop SALSA kinds recompute only the
+    product columns reachable from the touched nodes — so the cost scales
+    with the graph change rather than the graph, and the result is bitwise
+    equal to diffing the two fully-composed matrices.
 
     Parameters
     ----------
@@ -417,18 +606,9 @@ def system_delta(
             f"snapshots have different node counts: {before.n} vs {after.n}"
         )
     validate_damping(kind, damping)
+    provider = delta_provider(kind)
     if delta is None:
         delta = GraphDelta.between(before, after)
     if delta.is_empty():
         return {}
-    if kind is MatrixKind.RANDOM_WALK:
-        return _random_walk_system_delta(before, after, damping, delta)
-    if kind is MatrixKind.SYMMETRIC_WALK:
-        return _symmetric_walk_system_delta(before, after, damping, delta)
-    if kind is MatrixKind.LAPLACIAN:
-        return _laplacian_system_delta(before, after, delta)
-    if kind in (MatrixKind.SALSA_AUTHORITY, MatrixKind.SALSA_HUB):
-        return measure_matrix(before, kind=kind, damping=damping).delta_entries(
-            measure_matrix(after, kind=kind, damping=damping)
-        )
-    raise MeasureError(f"unsupported matrix kind: {kind!r}")
+    return provider(before, after, damping, delta)

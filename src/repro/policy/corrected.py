@@ -28,13 +28,10 @@ bound after ``k`` columns is the ``(k+1)``-th largest mass over ``(1 - d)``
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.policy.base import CorrectionDecision
 from repro.policy.qc import QCPolicy
-
-if TYPE_CHECKING:
-    from repro.graphs.matrixkind import MatrixKind
 
 
 def ranked_update_columns(

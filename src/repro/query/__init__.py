@@ -10,22 +10,38 @@ The layering this package establishes::
 
 A :class:`MeasureSpec` declares how a measure becomes an ``A x = b``
 instance; a :class:`QueryBatch` collects heterogeneous queries; a
-:class:`QueryPlanner` groups them by shared system matrix, factorizes each
-group exactly once (dispatching independent groups as executor work units)
-and answers every group with one batched multi-RHS solve.
+:class:`QueryPlanner` groups them by shared system matrix and walks each
+group down the :class:`ResolutionLadder` (:mod:`repro.query.resolution`)
+— hit, store restore, verbatim reuse, corrected reuse, delta refresh,
+cold factorization — so a system matrix is factorized at most once, then
+answers every group with one batched multi-RHS solve.  The factor and
+result caches live in :mod:`repro.query.cache`.
 """
 
 from repro.query.batch import QueryBatch
+from repro.query.cache import FactorCache, ResultCache
 from repro.query.planner import (
-    ApproximationRecord,
     BatchResult,
     DirectAnswer,
-    FactorCache,
     PlannedGroup,
     PlannerStats,
     QueryPlan,
     QueryPlanner,
-    ResultCache,
+)
+from repro.query.resolution import (
+    ApproximationRecord,
+    CandidateScan,
+    ColdTier,
+    CorrectedReuseTier,
+    HitTier,
+    RefreshTier,
+    Resolution,
+    ResolutionContext,
+    ResolutionLadder,
+    ResolutionTier,
+    StoreRestoreTier,
+    VerbatimReuseTier,
+    default_stages,
 )
 from repro.query.spec import (
     FactorizedSystem,
@@ -65,4 +81,16 @@ __all__ = [
     "ApproximationRecord",
     "FactorCache",
     "ResultCache",
+    "Resolution",
+    "ResolutionContext",
+    "ResolutionTier",
+    "ResolutionLadder",
+    "CandidateScan",
+    "HitTier",
+    "StoreRestoreTier",
+    "VerbatimReuseTier",
+    "CorrectedReuseTier",
+    "RefreshTier",
+    "ColdTier",
+    "default_stages",
 ]

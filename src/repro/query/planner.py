@@ -1,4 +1,4 @@
-"""The factor-reusing query planner.
+"""The factor-reusing query planner: plan groups, walk the resolution ladder.
 
 ``N`` queries should cost ``#distinct-system-matrices`` factorizations, not
 ``N``.  The planner makes that explicit in two phases:
@@ -9,70 +9,78 @@
   ``(snapshot, kind, damping, matrix-params)`` system matrix land in the
   same :class:`PlannedGroup`, in first-appearance order.  Queries a spec can
   answer in closed form (shortcuts) are split off as direct answers.
-* :meth:`QueryPlanner.execute` factorizes each group's matrix **exactly
-  once** — cache misses are dispatched as independent work units through the
-  :mod:`repro.exec` executors, so distinct factor groups can run on a worker
-  pool — then answers every group with a single batched multi-RHS
-  substitution sweep and scatters the columns back to batch positions.
+* :meth:`QueryPlanner.execute` walks every group down the **resolution
+  ladder** (:class:`~repro.query.resolution.ResolutionLadder`) — hit,
+  store restore, verbatim reuse, corrected reuse, delta refresh, cold
+  factorization, each group served by the first tier that can — then
+  answers every group with a single batched multi-RHS substitution sweep
+  and scatters the columns back to batch positions.
 
-The factor cache outlives a single batch: a second batch over the same
-snapshots costs zero factorizations, and sequence-level solvers
+The factor cache (:class:`~repro.query.cache.FactorCache`) outlives a
+single batch: a second batch over the same snapshots costs zero
+factorizations, and sequence-level solvers
 (:meth:`repro.core.solver.EMSSolver.seed_planner`) pre-seed it with their
 decompositions so measure series ride on already-computed factors.  Every
 numerical path is the same batched kernel stack used everywhere else, so
 planner answers are bitwise identical to the legacy per-measure drivers.
 
-Two further reuse levels stack on top (see :class:`QueryPlanner` for the
-precedence order):
+An answer-level :class:`~repro.query.cache.ResultCache` keyed by
+``(SystemKey, rhs fingerprint)`` short-circuits repeated identical queries
+before the substitution sweep, with invalidation driven by the factor
+cache; approximate serves are audited per group as
+:class:`~repro.query.resolution.ApproximationRecord` entries in the
+:class:`BatchResult`.
 
-* an answer-level :class:`ResultCache` keyed by ``(SystemKey, rhs
-  fingerprint)`` short-circuits repeated identical queries before the
-  substitution sweep, with invalidation driven by the factor cache;
-* an approximate :class:`~repro.policy.base.ReusePolicy` (opt-in) may answer
-  a miss group from a cached *similar* system's factors outright — the
-  paper's bounded quality-loss trade applied to serving — recording one
-  :class:`ApproximationRecord` per approximated group in the
-  :class:`BatchResult` audit trail.
+This module historically also housed the caches and the miss-resolution
+machinery; they now live in :mod:`repro.query.cache` and
+:mod:`repro.query.resolution`, and every historical name is re-exported
+here unchanged.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import hashlib
-import types
-import weakref
-from collections import OrderedDict
 from typing import (
     TYPE_CHECKING,
-    Callable,
     Dict,
     Hashable,
-    Iterator,
     List,
+    Mapping,
     Optional,
     Sequence,
-    Set,
     Tuple,
     Union,
 )
 
 import numpy as np
 
-from repro.errors import (
-    FactorizationError,
-    MeasureError,
-    PatternError,
-    SingularMatrixError,
-    StoreError,
-)
-from repro.exec.executors import Executor, resolve_executor
-from repro.exec.plan import plan_factor_batch, plan_refresh_batch
-from repro.graphs.delta import GraphDelta
-from repro.graphs.matrixkind import MatrixKind, damping_delta, system_delta
+from repro.errors import MeasureError
+from repro.exec.executors import Executor
 from repro.graphs.snapshot import GraphSnapshot
-from repro.lu.bennett import bennett_update
-from repro.lu.smw import WoodburyCorrector
 from repro.query.batch import QueryBatch
+from repro.query.cache import (  # noqa: F401  (historical import surface)
+    DEFAULT_REFRESH_THRESHOLD,
+    DEFAULT_RESULT_CACHE_SIZE,
+    FactorCache,
+    ResultCache,
+    ResultKey,
+    _apply_entry_delta,
+)
+from repro.query.resolution import (  # noqa: F401  (historical import surface)
+    ApproximationRecord,
+    CandidateScan,
+    ColdTier,
+    CorrectedReuseTier,
+    HitTier,
+    RefreshTier,
+    Resolution,
+    ResolutionContext,
+    ResolutionLadder,
+    ResolutionTier,
+    StoreRestoreTier,
+    VerbatimReuseTier,
+)
 from repro.query.spec import (
     FactorizedSystem,
     MeasureSpec,
@@ -82,622 +90,12 @@ from repro.query.spec import (
     get_spec,
     system_key,
 )
-from repro.sparse.csr import SparseMatrix
-from repro.sparse.types import Entries
 
-if TYPE_CHECKING:  # runtime import is lazy: repro.policy sits above core,
-    # whose solver module imports this one (see QueryPlanner.__init__).
-    from repro.policy import CorrectionDecision, ReuseDecision, ReusePolicy
-    from repro.store.factorstore import FactorStore, RefreshProvenance
-
-#: Default ``refresh_threshold``: a system-matrix delta touching more than
-#: this fraction of the cached matrix's non-zeros falls back to a cold
-#: factorization — beyond it the rank-1 sweeps stop being cheaper than a
-#: fresh Markowitz + Crout pass (and a large delta usually means the old
-#: ordering misfits the new matrix anyway).
-DEFAULT_REFRESH_THRESHOLD = 0.25
-
-
-def _apply_entry_delta(matrix: SparseMatrix, delta: Entries) -> SparseMatrix:
-    """Return ``matrix + ΔA`` for a sparse entry delta in original coordinates."""
-    if not delta:
-        return matrix
-    change = SparseMatrix.from_triples(
-        matrix.n, ((i, j, value) for (i, j), value in delta.items())
-    )
-    return matrix.add(change)
-
-
-class FactorCache:
-    """Cache of :class:`FactorizedSystem` objects keyed by :class:`SystemKey`.
-
-    Tracks hits and misses at *group* granularity (one lookup per planned
-    group, not per query), which is what the acceptance counters assert
-    against.  Entries seeded via :meth:`seed` (e.g. from an EMS
-    decomposition) count as ordinary hits when used.
-
-    Parameters
-    ----------
-    max_systems:
-        Optional LRU bound for long-lived serving planners over evolving
-        graphs, where every new snapshot is a new key and an unbounded cache
-        would grow without limit.  ``None`` (the default) keeps every entry —
-        required for the bitwise guarantees of seeded sequence planners: an
-        evicted entry is transparently re-factorized from scratch, which is
-        still an exact solve but not necessarily bit-identical to the
-        decomposition-seeded factors it replaced.  :meth:`seed` refuses to
-        overflow the bound (see its docstring) for the same reason.
-    refresh_threshold:
-        Delta-refresh feasibility gate, as a fraction of the cached system
-        matrix's non-zeros: a system delta with more entries than
-        ``refresh_threshold * nnz`` is rejected (counted in
-        ``refresh_fallbacks``) and the caller cold-factorizes instead.
-    store:
-        Optional :class:`~repro.store.factorstore.FactorStore` disk tier.
-        With a store attached, LRU evictions (and stealing refreshes)
-        *spill* the departing system to disk instead of dropping it, a
-        memory miss consults the store before reporting a miss to the
-        caller (a restored system is installed and returned — the planner
-        sees it as a cache hit and skips the cold factorization), and
-        :meth:`checkpoint` flushes the whole working set.  Refresh-produced
-        systems remember their provenance (parent + applied delta) so their
-        spills are compact delta checkpoints.  ``cache_info()`` grows four
-        extra counters — ``store_hits`` / ``store_misses`` (partitioning
-        the memory misses), ``spills``, and ``restore_fallbacks`` (files
-        that existed but could not be restored: corrupt, torn, or replay
-        breakdown — served cold instead, never wrong).
-    """
-
-    def __init__(
-        self,
-        max_systems: Optional[int] = None,
-        refresh_threshold: float = DEFAULT_REFRESH_THRESHOLD,
-        store: Optional["FactorStore"] = None,
-    ) -> None:
-        if max_systems is not None and max_systems < 1:
-            raise MeasureError(f"max_systems must be positive, got {max_systems}")
-        if refresh_threshold < 0.0:
-            raise MeasureError(
-                f"refresh_threshold must be non-negative, got {refresh_threshold}"
-            )
-        self._systems: "OrderedDict[SystemKey, FactorizedSystem]" = OrderedDict()
-        self._max_systems = max_systems
-        self._refresh_threshold = float(refresh_threshold)
-        self._store = store
-        #: refresh lineage per cached key, kept only while a store could
-        #: spill it as a delta checkpoint (see RefreshProvenance)
-        self._provenance: Dict[SystemKey, "RefreshProvenance"] = {}
-        self._hits = 0
-        self._misses = 0
-        self._evictions = 0
-        self._refreshes = 0
-        self._refresh_fallbacks = 0
-        self._store_hits = 0
-        self._store_misses = 0
-        self._spills = 0
-        self._restore_fallbacks = 0
-        #: resolvers returning the live listener or ``None`` once collected
-        self._invalidation_listeners: List[
-            Callable[[], Optional[Callable[[SystemKey], None]]]
-        ] = []
-        self._eviction_listeners: List[
-            Callable[[], Optional[Callable[[SystemKey], None]]]
-        ] = []
-
-    def __len__(self) -> int:
-        return len(self._systems)
-
-    def __contains__(self, key: SystemKey) -> bool:
-        return key in self._systems
-
-    def keys(self) -> Iterator[SystemKey]:
-        """Iterate over the cached system keys (snapshot → key index scans)."""
-        return iter(tuple(self._systems))
-
-    @property
-    def disk_store(self) -> Optional["FactorStore"]:
-        """The attached disk tier, or ``None``.
-
-        (Named ``disk_store`` because :meth:`store` — the historical install
-        method — already occupies the ``store`` attribute.)
-        """
-        return self._store
-
-    def lookup(self, key: SystemKey) -> Optional[FactorizedSystem]:
-        """Return the cached system for ``key`` and count the hit or miss.
-
-        With a store attached, a memory miss consults the disk tier before
-        giving up: a restorable checkpoint is decoded (or delta-replayed),
-        installed, counted as a ``store_hits``, and returned — the caller
-        never learns it was not in memory, which is exactly what makes a
-        warm restart answer without cold factorizations.  ``store_misses``
-        counts the memory misses the store could not serve either; among
-        those, ``restore_fallbacks`` counts the ones where a checkpoint
-        file existed but failed its checksum or its delta replay.
-        """
-        system = self._systems.get(key)
-        if system is not None:
-            self._hits += 1
-            self._systems.move_to_end(key)
-            return system
-        self._misses += 1
-        if self._store is None:
-            return None
-        if key not in self._store:
-            self._store_misses += 1
-            return None
-        restored = self._store.load(key)
-        if restored is None:
-            self._restore_fallbacks += 1
-            self._store_misses += 1
-            return None
-        self._store_hits += 1
-        self._install(key, restored)
-        return restored
-
-    def peek(self, key: SystemKey) -> Optional[FactorizedSystem]:
-        """Return the cached system without touching counters or recency."""
-        return self._systems.get(key)
-
-    def touch(self, key: SystemKey) -> None:
-        """Freshen a key's LRU recency without counting a hit or a miss.
-
-        Used by policy-level reuse: a cached system answering *for another
-        key* is in active use and must not age towards eviction, but the
-        pinned per-group hit/miss accounting (one counted lookup per planned
-        group) may not change.
-        """
-        if key in self._systems:
-            self._systems.move_to_end(key)
-
-    def add_invalidation_listener(self, listener: Callable[[SystemKey], None]) -> None:
-        """Subscribe to key invalidations (evictions and factor installs).
-
-        The listener fires whenever the factors behind a key can no longer be
-        assumed unchanged: the key is evicted (a later re-factorization is
-        exact but not necessarily bit-identical), dropped by a stealing
-        refresh, or has new factors installed over it.  Planners hang their
-        result caches here so derived answers never outlive their factors.
-
-        Bound-method listeners are held **weakly** (their receiver is not
-        kept alive by the subscription, and dead subscriptions are pruned),
-        so short-lived planners sharing a long-lived factor cache do not
-        accumulate; keep the receiving object alive for as long as the
-        subscription should fire.  Plain functions are held strongly.
-        """
-        self._invalidation_listeners.append(self._hold_listener(listener))
-
-    def add_eviction_listener(self, listener: Callable[[SystemKey], None]) -> None:
-        """Subscribe to key *removals* only (LRU eviction, steal, clear).
-
-        Unlike :meth:`add_invalidation_listener` — which also fires when new
-        factors are installed over a key — this channel fires exactly when a
-        key leaves the cache.  Planners use it to prune per-key bookkeeping
-        (lineage entries, snapshot bindings) that is only useful while the
-        key's system is cached, which is what keeps a long-lived serving
-        planner's registries bounded.  The same weak-holding rules as
-        invalidation listeners apply.
-        """
-        self._eviction_listeners.append(self._hold_listener(listener))
-
-    @staticmethod
-    def _hold_listener(
-        listener: Callable[[SystemKey], None],
-    ) -> Callable[[], Optional[Callable[[SystemKey], None]]]:
-        if isinstance(listener, types.MethodType):
-            return weakref.WeakMethod(listener)
-        return lambda _fn=listener: _fn
-
-    @staticmethod
-    def _fire(
-        listeners: List[Callable[[], Optional[Callable[[SystemKey], None]]]],
-        key: SystemKey,
-    ) -> None:
-        dead = False
-        for resolver in listeners:
-            listener = resolver()
-            if listener is None:
-                dead = True
-                continue
-            listener(key)
-        if dead:
-            listeners[:] = [
-                resolver for resolver in listeners if resolver() is not None
-            ]
-
-    def _invalidate(self, key: SystemKey) -> None:
-        self._fire(self._invalidation_listeners, key)
-
-    def _evicted(self, key: SystemKey) -> None:
-        self._fire(self._eviction_listeners, key)
-
-    def _spill(self, key: SystemKey, system: FactorizedSystem) -> bool:
-        """Checkpoint a departing (or flushed) system to the store, if any.
-
-        Uses the recorded refresh provenance for a compact delta checkpoint
-        when available, a full checkpoint otherwise.  Unsupported factor
-        containers and I/O failures are swallowed — spilling is an
-        optimization, never a correctness requirement (the system would
-        simply cold-factorize on a later miss).
-        """
-        if self._store is None:
-            return False
-        try:
-            self._store.save(key, system, self._provenance.get(key))
-        except (StoreError, OSError):
-            return False
-        self._spills += 1
-        return True
-
-    def _install(self, key: SystemKey, system: FactorizedSystem) -> None:
-        self._invalidate(key)
-        # New factors over the key invalidate any recorded refresh lineage
-        # (commit_refresh re-records its own right after).
-        self._provenance.pop(key, None)
-        self._systems[key] = system
-        self._systems.move_to_end(key)
-        if self._max_systems is not None:
-            while len(self._systems) > self._max_systems:
-                evicted, dropped = self._systems.popitem(last=False)
-                self._evictions += 1
-                self._spill(evicted, dropped)
-                self._provenance.pop(evicted, None)
-                self._invalidate(evicted)
-                self._evicted(evicted)
-
-    def seed(self, key: SystemKey, system: FactorizedSystem) -> None:
-        """Install a system without touching the counters (pre-population).
-
-        Seeding must never evict: a seeded planner's guarantee is that the
-        whole sequence answers from exactly the decomposition-provided
-        factors, and a silent LRU eviction of a seeded entry would break it
-        without any signal (the evicted index would be transparently — but
-        approximately-bitwise-differently — re-factorized).  Seeding a key
-        that would overflow ``max_systems`` therefore raises
-        :class:`~repro.errors.MeasureError`; raise the bound or use an
-        unbounded cache for seeded planners.
-        """
-        if (
-            self._max_systems is not None
-            and key not in self._systems
-            and len(self._systems) >= self._max_systems
-        ):
-            raise MeasureError(
-                f"seeding would overflow max_systems={self._max_systems} "
-                f"(cache already holds {len(self._systems)} systems); seeded "
-                "entries must never be evicted — raise max_systems to at "
-                "least the number of seeded systems or use an unbounded cache"
-            )
-        self._install(key, system)
-
-    def store(self, key: SystemKey, system: FactorizedSystem) -> None:
-        """Install a freshly factorized system (after a counted miss)."""
-        self._install(key, system)
-
-    # ------------------------------------------------------------------ #
-    # Delta refresh
-    # ------------------------------------------------------------------ #
-    def _refresh_feasible(
-        self, cached: Optional[FactorizedSystem], delta: Entries
-    ) -> bool:
-        """Gate a refresh: the parent must be cached and the delta small."""
-        if cached is None:
-            return False
-        return len(delta) <= self._refresh_threshold * max(cached.matrix.nnz, 1)
-
-    def prepare_refresh(
-        self, old_key: SystemKey, delta: Entries
-    ) -> Optional[FactorizedSystem]:
-        """Feasibility-check a refresh and return a mutable clone of the parent.
-
-        ``delta`` is the system-matrix entry delta in *original* (unordered)
-        coordinates; only its size matters here.  Returns a clone whose
-        factor container may be Bennett-updated in place (e.g. inside an
-        executor work unit), or ``None`` — counting a ``refresh_fallbacks``
-        — when the parent is missing or the delta exceeds the threshold.
-        Hit/miss counters are untouched either way.
-        """
-        cached = self._systems.get(old_key)
-        if not self._refresh_feasible(cached, delta):
-            self._refresh_fallbacks += 1
-            return None
-        return cached.clone()
-
-    def commit_refresh(
-        self,
-        new_key: SystemKey,
-        system: FactorizedSystem,
-        provenance: Optional["RefreshProvenance"] = None,
-    ) -> None:
-        """Install a successfully refreshed system (counted in ``refreshes``).
-
-        ``provenance`` — the parent system and the exact applied delta — is
-        remembered (only while a store is attached; it pins the parent
-        system in memory) so a later spill of this key writes a compact
-        delta checkpoint instead of a full one.
-        """
-        self._install(new_key, system)
-        if provenance is not None and self._store is not None:
-            self._provenance[new_key] = provenance
-        self._refreshes += 1
-
-    def refresh_failed(self) -> None:
-        """Record that a prepared refresh broke down numerically."""
-        self._refresh_fallbacks += 1
-
-    def refresh(
-        self,
-        old_key: SystemKey,
-        new_key: SystemKey,
-        delta: Entries,
-        new_matrix: Optional[SparseMatrix] = None,
-        steal: bool = False,
-    ) -> Optional[FactorizedSystem]:
-        """Derive the system for ``new_key`` from ``old_key`` by Bennett update.
-
-        The paper's INC insight applied to the serving cache: instead of a
-        cold factorization for a snapshot that evolved from a cached one by a
-        small delta, clone (or, with ``steal=True``, remove and reuse) the
-        cached :class:`FactorizedSystem`, apply the sparse system-matrix
-        ``delta`` (original coordinates; mapped through the stored ordering
-        here) as rank-1 Bennett sweeps, and install the result under
-        ``new_key``.
-
-        Returns the refreshed system, or ``None`` with ``refresh_fallbacks``
-        incremented when the parent is missing, the delta exceeds
-        ``refresh_threshold`` as a fraction of the cached matrix's non-zeros,
-        the update would fill outside a static factor pattern
-        (:class:`~repro.errors.PatternError`), or a pivot breaks down — the
-        caller then falls back to a full factorization.  Every failure mode
-        leaves the parent entry intact (``steal`` only takes effect on
-        success).  Hit/miss counters are never touched.  ``new_matrix``
-        overrides the stored matrix of the result (defaults to
-        ``old matrix + delta``).
-        """
-        cached = self._systems.get(old_key)
-        if not self._refresh_feasible(cached, delta):
-            self._refresh_fallbacks += 1
-            return None
-        # Always sweep on a clone — even when stealing — so a mid-sweep
-        # breakdown leaves the parent entry intact and still answering; the
-        # old key is dropped only once the refresh has succeeded.
-        working = cached.clone()
-        ordering = working.ordering
-        mapped = ordering.map_entries(delta) if ordering is not None else dict(delta)
-        try:
-            bennett_update(working.factors, mapped)
-        except (PatternError, SingularMatrixError):
-            self._refresh_fallbacks += 1
-            return None
-        if new_matrix is None:
-            new_matrix = _apply_entry_delta(cached.matrix, delta)
-        system = FactorizedSystem(new_matrix, ordering, working.factors)
-        if steal:
-            popped = self._systems.pop(old_key, None)
-            if popped is not None:
-                self._spill(old_key, popped)
-                self._provenance.pop(old_key, None)
-                self._invalidate(old_key)
-                self._evicted(old_key)
-        provenance: Optional["RefreshProvenance"] = None
-        if self._store is not None:
-            from repro.store.factorstore import RefreshProvenance
-
-            # This path applied ``mapped`` in its own insertion order (the
-            # executor refresh units sort theirs); the provenance must
-            # record exactly the order that produced the factors.
-            provenance = RefreshProvenance(old_key, cached, dict(mapped))
-        self.commit_refresh(new_key, system, provenance=provenance)
-        return system
-
-    def checkpoint(self) -> int:
-        """Flush every cached system to the store; return the spill count.
-
-        Non-destructive: the working set stays in memory untouched.  A
-        warm-booted cache pointed at the same store directory answers the
-        flushed keys from disk, bitwise-identically, without a single cold
-        factorization.  Raises :class:`~repro.errors.MeasureError` when no
-        store is attached.
-        """
-        if self._store is None:
-            raise MeasureError(
-                "checkpoint() requires a FactorCache constructed with store=..."
-            )
-        count = 0
-        for key, system in list(self._systems.items()):
-            if self._spill(key, system):
-                count += 1
-        return count
-
-    def cache_info(self) -> Dict[str, int]:
-        """Return hit/miss/eviction/refresh/size counters (the reuse statistics).
-
-        With a store attached, four more counters appear: ``store_hits`` /
-        ``store_misses`` partition the memory ``misses`` into served-from-
-        disk vs truly cold, ``spills`` counts systems checkpointed on
-        eviction/steal/:meth:`checkpoint`, and ``restore_fallbacks`` counts
-        checkpoint files that existed but could not be restored.  (They are
-        omitted entirely for store-less caches, whose ``cache_info()`` stays
-        byte-compatible with earlier releases.)
-        """
-        info = {
-            "hits": self._hits,
-            "misses": self._misses,
-            "evictions": self._evictions,
-            "refreshes": self._refreshes,
-            "refresh_fallbacks": self._refresh_fallbacks,
-            "size": len(self._systems),
-        }
-        if self._store is not None:
-            info.update({
-                "store_hits": self._store_hits,
-                "store_misses": self._store_misses,
-                "spills": self._spills,
-                "restore_fallbacks": self._restore_fallbacks,
-            })
-        return info
-
-    def clear(self) -> None:
-        """Drop every cached system and reset the counters.
-
-        The store (if any) is left untouched: ``clear`` empties the memory
-        tier, it does not delete checkpoints.  Subsequent lookups may
-        therefore still restore from disk.
-        """
-        while self._systems:
-            key, _ = self._systems.popitem(last=False)
-            self._provenance.pop(key, None)
-            self._invalidate(key)
-            self._evicted(key)
-        self._provenance.clear()
-        self._hits = 0
-        self._misses = 0
-        self._evictions = 0
-        self._refreshes = 0
-        self._refresh_fallbacks = 0
-        self._store_hits = 0
-        self._store_misses = 0
-        self._spills = 0
-        self._restore_fallbacks = 0
-
-
-#: Default size of a planner's answer-level result cache.
-DEFAULT_RESULT_CACHE_SIZE = 1024
-
-#: A result-cache key: ``(SystemKey, finalize identity, rhs fingerprint)``.
-ResultKey = Tuple[SystemKey, Hashable, bytes]
-
-
-class ResultCache:
-    """LRU cache of *finalized answers* keyed by ``(SystemKey, rhs fingerprint)``.
-
-    Serving workloads repeat hot queries; a repeated query should not even
-    pay the substitution sweep.  The key is the system identity plus a digest
-    of the right-hand-side bytes — so two queries whose specs build the same
-    RHS against the same factors share one entry (e.g. an RWR from node ``u``
-    and a single-seed PPR at ``u``).  Specs with a post-transform or
-    normalization extend the key with their name and parameters, since their
-    final answer is not a pure function of ``(system, rhs)``.
-
-    Entries are value-isolated: arrays are copied in on store and copied out
-    on hit, so callers may mutate their results freely.  Invalidation is
-    driven by the factor cache (:meth:`FactorCache.add_invalidation_listener`):
-    whenever a key's factors are evicted, stolen or replaced, every answer
-    derived from them is dropped — a re-factorized system is exact but not
-    necessarily bit-identical, and a refreshed one is not even that.
-    """
-
-    def __init__(self, max_entries: int = DEFAULT_RESULT_CACHE_SIZE) -> None:
-        if max_entries < 1:
-            raise MeasureError(f"max_entries must be positive, got {max_entries}")
-        self._entries: "OrderedDict[ResultKey, np.ndarray]" = OrderedDict()
-        self._by_system: Dict[SystemKey, Set[ResultKey]] = {}
-        self._max_entries = int(max_entries)
-        self._hits = 0
-        self._misses = 0
-        self._evictions = 0
-        self._invalidations = 0
-
-    def __len__(self) -> int:
-        return len(self._entries)
-
-    def lookup(self, key: ResultKey) -> Optional[np.ndarray]:
-        """Return a copy of the cached answer, counting the hit or miss."""
-        answer = self._entries.get(key)
-        if answer is None:
-            self._misses += 1
-            return None
-        self._hits += 1
-        self._entries.move_to_end(key)
-        return answer.copy()
-
-    def store(self, key: ResultKey, answer: np.ndarray) -> None:
-        """Install (a copy of) a freshly computed answer."""
-        if key in self._entries:
-            self._entries.move_to_end(key)
-            return
-        self._entries[key] = np.array(answer, dtype=float, copy=True)
-        self._by_system.setdefault(key[0], set()).add(key)
-        while len(self._entries) > self._max_entries:
-            evicted, _ = self._entries.popitem(last=False)
-            self._evictions += 1
-            siblings = self._by_system.get(evicted[0])
-            if siblings is not None:
-                siblings.discard(evicted)
-                if not siblings:
-                    del self._by_system[evicted[0]]
-
-    def invalidate_system(self, system_key: SystemKey) -> None:
-        """Drop every answer derived from one system's factors."""
-        for key in self._by_system.pop(system_key, ()):  # type: ignore[arg-type]
-            if self._entries.pop(key, None) is not None:
-                self._invalidations += 1
-
-    def cache_info(self) -> Dict[str, int]:
-        """Return hit/miss/eviction/invalidation/size counters."""
-        return {
-            "hits": self._hits,
-            "misses": self._misses,
-            "evictions": self._evictions,
-            "invalidations": self._invalidations,
-            "size": len(self._entries),
-        }
-
-    def clear(self) -> None:
-        """Drop every cached answer and reset the counters."""
-        self._entries.clear()
-        self._by_system.clear()
-        self._hits = 0
-        self._misses = 0
-        self._evictions = 0
-        self._invalidations = 0
-
-
-@dataclasses.dataclass(frozen=True)
-class ApproximationRecord:
-    """Audit trail of one QC-approximated group: what was traded, for what.
-
-    Every batch answered under an approximate :class:`~repro.policy.base.
-    ReusePolicy` reports one record per group that was served from another
-    system's factors, so callers can see exactly which positions of the
-    result are approximate and at what certified cost.
-
-    Attributes
-    ----------
-    positions:
-        Batch positions answered from the reused factors.
-    system:
-        The :class:`~repro.query.spec.SystemKey` identity the queries asked
-        for (snapshot or sequence token).
-    parent_system:
-        The identity of the cached system that actually answered.
-    similarity:
-        Snapshot similarity the candidate passed (``>= policy alpha``).
-    loss_estimate:
-        Certified relative-deviation bound of the raw answers
-        (``<= policy loss bound``); see
-        :func:`repro.core.quality.reuse_loss_bound`.
-    policy:
-        Name of the policy that licensed the approximation.
-    rank:
-        Number of delta columns applied exactly by a Sherman–Morrison–
-        Woodbury correction over the parent's factors (``0`` for verbatim
-        reuse — the parent's answer served unchanged).
-    mode:
-        How the group was served: ``"verbatim"`` (step-2 policy reuse),
-        ``"corrected"`` (rank-``k`` corrected reuse across snapshots) or
-        ``"cross-damping"`` (same snapshot answered across damping factors,
-        possibly corrected).
-    """
-
-    positions: Tuple[int, ...]
-    system: Hashable
-    parent_system: Hashable
-    similarity: float
-    loss_estimate: float
-    policy: str
-    rank: int = 0
-    mode: str = "verbatim"
+if TYPE_CHECKING:  # runtime import is lazy: repro.policy sits above the
+    # core package, whose solver module imports this one (see
+    # QueryPlanner.__init__).
+    from repro.policy import ReusePolicy
+    from repro.store.factorstore import FactorStore
 
 
 @dataclasses.dataclass(frozen=True)
@@ -744,29 +142,60 @@ class QueryPlan:
 class PlannerStats:
     """What one :meth:`QueryPlanner.execute` run cost.
 
-    ``factorizations`` is the acceptance-criteria counter: it equals the
-    number of planned groups whose key was not already in the factor cache,
-    was not answered outright by the reuse policy, *and* could not be
-    delta-refreshed from a cached parent — at most one factorization per
-    distinct system matrix, ever.  ``refreshes`` counts miss groups answered
-    by Bennett-updating a cached parent's factors; ``qc_reuses`` counts miss
-    groups answered *from another system's factors unchanged* under an
-    approximate policy (no numerical work at all); ``corrected_reuses``
-    counts miss groups answered through a rank-``k`` Sherman–Morrison–
-    Woodbury correction of a cached system (including rank-0 cross-damping
-    sharing); ``result_hits`` counts individual queries answered straight
-    from the result cache without a substitution sweep.
+    ``resolutions`` maps every resolution-tier name to the number of
+    planned groups that tier served — one uniform surface for the whole
+    ladder, shape-stable across batches (every tier appears, zeros
+    included).  With the default ladder the keys are ``"hit"``,
+    ``"store_restore"``, ``"verbatim_reuse"``, ``"corrected_reuse"``,
+    ``"refresh"`` and ``"cold"``.
+
+    The historical counters are derived views of that mapping:
+    ``factorizations`` (the acceptance-criteria counter — at most one cold
+    factorization per distinct system matrix, ever) is the ``"cold"``
+    count; ``cache_hits`` sums ``"hit"`` and ``"store_restore"`` (a
+    store-backed cache restoring from disk has always reported as a cache
+    hit); ``refreshes`` counts miss groups answered by Bennett-updating a
+    cached parent's factors; ``qc_reuses`` counts miss groups answered
+    *from another system's factors unchanged* under an approximate policy
+    (no numerical work at all); ``corrected_reuses`` counts miss groups
+    answered through a rank-``k`` Sherman–Morrison–Woodbury correction of
+    a cached system (including rank-0 cross-damping sharing).
+    ``result_hits`` counts individual queries answered straight from the
+    result cache without a substitution sweep.
     """
 
     queries: int
     groups: int
-    factorizations: int
-    cache_hits: int
     direct_answers: int
-    refreshes: int = 0
-    qc_reuses: int = 0
-    corrected_reuses: int = 0
     result_hits: int = 0
+    resolutions: Mapping[str, int] = dataclasses.field(default_factory=dict)
+
+    @property
+    def factorizations(self) -> int:
+        """Groups served by a cold factorization (the ``"cold"`` tier)."""
+        return self.resolutions.get("cold", 0)
+
+    @property
+    def cache_hits(self) -> int:
+        """Groups served from cached factors (``"hit"`` + ``"store_restore"``)."""
+        return self.resolutions.get("hit", 0) + self.resolutions.get(
+            "store_restore", 0
+        )
+
+    @property
+    def refreshes(self) -> int:
+        """Groups served by Bennett delta refresh (the ``"refresh"`` tier)."""
+        return self.resolutions.get("refresh", 0)
+
+    @property
+    def qc_reuses(self) -> int:
+        """Groups served by verbatim policy reuse (the ``"verbatim_reuse"`` tier)."""
+        return self.resolutions.get("verbatim_reuse", 0)
+
+    @property
+    def corrected_reuses(self) -> int:
+        """Groups served by rank-k SMW correction (the ``"corrected_reuse"`` tier)."""
+        return self.resolutions.get("corrected_reuse", 0)
 
 
 @dataclasses.dataclass
@@ -842,17 +271,23 @@ class BatchResult:
 class QueryPlanner:
     """Group queries by shared system matrix; factorize once per group.
 
-    A miss group is answered by the cheapest admissible source, in one fixed
-    precedence order (each step falls through to the next):
+    A miss group is answered by the cheapest admissible source — the
+    **resolution ladder** (:class:`~repro.query.resolution.
+    ResolutionLadder`), each tier falling through to the next:
 
-    1. **Factor-cache hit** — the key's own factors are cached (a store-
-       backed cache transparently restores from disk here).
-    2. **Policy reuse** — an approximate :class:`~repro.policy.base.
+    1. **Hit** (:class:`~repro.query.resolution.HitTier`) — the key's own
+       factors are cached in memory.
+    2. **Store restore** (:class:`~repro.query.resolution.
+       StoreRestoreTier`) — a store-backed cache restores the factors from
+       disk (transparently: historically part of the cache hit).
+    3. **Verbatim reuse** (:class:`~repro.query.resolution.
+       VerbatimReuseTier`) — an approximate :class:`~repro.policy.base.
        ReusePolicy` (e.g. :class:`~repro.policy.qc.QCPolicy`) licenses
        answering from a cached *similar* system's factors outright: no
        factorization, no refresh, an :class:`ApproximationRecord` in the
-       batch result.  Exact policies skip this step entirely.
-    3. **Corrected reuse** — a correction-capable policy
+       batch result.  Exact policies skip this tier entirely.
+    4. **Corrected reuse** (:class:`~repro.query.resolution.
+       CorrectedReuseTier`) — a correction-capable policy
        (:class:`~repro.policy.corrected.CorrectedPolicy`) licenses
        answering through a rank-``k`` Sherman–Morrison–Woodbury correction
        of a cached system's factors (:class:`~repro.lu.smw.
@@ -862,18 +297,19 @@ class QueryPlanner:
        The candidate scan also covers **cross-damping** sharing: a cached
        system over the *same snapshot* at a different damping factor, whose
        delta ``(d' - d)·M`` the same machinery bounds.
-    4. **Delta refresh** — a registered lineage (or, with ``auto_refresh``,
-       the nearest cached same-shape snapshot) Bennett-updates a clone of
-       the parent's factors: near-exact, cheaper than cold.
-    5. **Cold factorization** — Markowitz + Crout, dispatched as executor
-       work units.
+    5. **Delta refresh** (:class:`~repro.query.resolution.RefreshTier`) —
+       a registered lineage (or, with ``auto_refresh``, the nearest cached
+       same-shape snapshot) Bennett-updates a clone of the parent's
+       factors: near-exact, cheaper than cold.
+    6. **Cold factorization** (:class:`~repro.query.resolution.ColdTier`)
+       — Markowitz + Crout, dispatched as executor work units.
 
-    Policy reuse outranks corrected reuse because it does zero numerical
+    Verbatim reuse outranks corrected reuse because it does zero numerical
     work; corrected reuse outranks refresh because its setup cost is ``k``
     sweeps instead of a full Bennett pass over the delta, and the policy
     explicitly certifies the accepted loss; refresh outranks cold because it
-    is near-exact and cheaper.  Groups answered at steps 1–4 never reach the
-    FACTOR unit fan-out; groups answered at steps 2–3 skip the REFRESH units
+    is near-exact and cheaper.  Groups answered at tiers 1–5 never reach the
+    FACTOR unit fan-out; groups answered at tiers 3–4 skip the REFRESH units
     as well.
 
     Parameters
@@ -896,11 +332,11 @@ class QueryPlanner:
         to a cold factorization, so refresh must be opted into — either
         through this flag or per-evolution via :meth:`register_evolution`.
     policy:
-        The reuse policy for step 2.  ``None`` (default) resolves to
-        :class:`~repro.policy.exact.ExactPolicy`, under which the planner's
-        output is bitwise identical to the historical planner.  An
-        approximate policy must be opted into explicitly — its answers are
-        *approximations*, audited per group in
+        The reuse policy for the verbatim/corrected tiers.  ``None``
+        (default) resolves to :class:`~repro.policy.exact.ExactPolicy`,
+        under which the planner's output is bitwise identical to the
+        historical planner.  An approximate policy must be opted into
+        explicitly — its answers are *approximations*, audited per group in
         :attr:`BatchResult.approximations`.
     result_cache:
         The answer-level cache for repeated identical queries: ``None``
@@ -917,6 +353,12 @@ class QueryPlanner:
         on miss, :meth:`checkpoint`).  Mutually exclusive with ``cache`` —
         when sharing an existing cache, attach the store to it directly
         via ``FactorCache(store=...)``.
+    ladder:
+        The :class:`~repro.query.resolution.ResolutionLadder` to walk;
+        ``None`` (default) builds the standard six-tier ladder above.  A
+        ladder belongs to one planner (its tiers' scan memos are cleared
+        through this planner's cache listeners) — build a fresh one per
+        planner rather than sharing.
     """
 
     def __init__(
@@ -927,6 +369,7 @@ class QueryPlanner:
         policy: Optional["ReusePolicy"] = None,
         result_cache: Union[ResultCache, int, None] = None,
         store: Optional["FactorStore"] = None,
+        ladder: Optional[ResolutionLadder] = None,
     ) -> None:
         # Imported here, not at module level: repro.policy sits above the
         # core package, whose solver module imports this one.
@@ -950,6 +393,7 @@ class QueryPlanner:
             self._cache = FactorCache(store=store)
         self._auto_refresh = bool(auto_refresh)
         self._policy = policy
+        self._ladder = ladder if ladder is not None else ResolutionLadder()
         if result_cache is None:
             self._results: Optional[ResultCache] = ResultCache()
         elif isinstance(result_cache, bool):
@@ -973,27 +417,19 @@ class QueryPlanner:
         #: non-snapshot system identities (sequence tokens) -> their snapshot,
         #: so policy reuse can score cached systems whose key is a token.
         self._snapshots: Dict[Hashable, GraphSnapshot] = {}
-        #: memoized candidate-scan outcomes, valid until the cache changes:
-        #: (kind, damping, child snapshot) -> (parent key, decision) or None
-        self._reuse_memo: "OrderedDict[Tuple, Optional[Tuple[SystemKey, ReuseDecision]]]" = (
-            OrderedDict()
-        )
-        #: same keying and lifetime for the corrected-reuse scan; holds the
-        #: built corrector so steady-state batches skip its setup sweeps
-        self._corrected_memo: "OrderedDict[Tuple, Optional[Tuple]]" = OrderedDict()
 
     def _clear_scan_memos(self) -> None:
-        self._reuse_memo.clear()
-        self._corrected_memo.clear()
+        self._ladder.clear_memos()
 
     def _on_factor_invalidation(self, key: SystemKey) -> None:
         """React to a factor-cache change: drop derived answers, stale scans.
 
         Registered as a (weakly held) invalidation listener: any install,
-        eviction or steal changes the candidate set the reuse policy scans,
-        so the scan memos are discarded wholesale (the corrected memo also
-        holds correctors built over possibly-departed factors), and the
-        result cache drops the answers derived from the affected key.
+        eviction or steal changes the candidate set the reuse tiers scan,
+        so their scan memos are discarded wholesale (the corrected tier's
+        memo also holds correctors built over possibly-departed factors),
+        and the result cache drops the answers derived from the affected
+        key.
         """
         if self._results is not None:
             self._results.invalidate_system(key)
@@ -1004,7 +440,7 @@ class QueryPlanner:
 
         The lineage registry maps a child system to its refresh parent; an
         entry is only actionable while some cached key still carries the
-        parent's system (``_refresh_parent`` otherwise falls back cold).  So
+        parent's system (the refresh tier otherwise falls back cold).  So
         once the *last* cached key of a system is evicted, every lineage
         entry naming it as parent — and its snapshot binding — is dropped.
         This is what bounds the registries of a long-lived server admitting
@@ -1029,8 +465,13 @@ class QueryPlanner:
 
     @property
     def policy(self) -> "ReusePolicy":
-        """The reuse policy gating approximate answers (step 2)."""
+        """The reuse policy gating approximate answers (the reuse tiers)."""
         return self._policy
+
+    @property
+    def ladder(self) -> ResolutionLadder:
+        """The resolution ladder miss groups walk, in precedence order."""
+        return self._ladder
 
     @property
     def result_cache(self) -> Optional[ResultCache]:
@@ -1184,65 +625,42 @@ class QueryPlanner:
     # ------------------------------------------------------------------ #
     # Execution
     # ------------------------------------------------------------------ #
-    def execute(self, plan: QueryPlan) -> BatchResult:
-        """Run a plan through the reuse precedence, then batch-solve.
+    def _resolution_context(self) -> ResolutionContext:
+        """Bundle the collaborators the ladder's tiers consult."""
+        return ResolutionContext(
+            cache=self._cache,
+            policy=self._policy,
+            executor=self._executor,
+            auto_refresh=self._auto_refresh,
+            lineage=self._lineage,
+            snapshot_of=self._snapshot_of,
+        )
 
-        Miss groups walk the documented precedence: policy reuse (step 2,
-        approximate policies only) answers a group from a cached similar
-        system's factors outright; the snapshot lineage (explicit
-        :meth:`register_evolution` entries, or the cached-snapshot index when
-        ``auto_refresh`` is on) Bennett-refreshes a cached parent's factors;
-        everything else — no candidate, gates failed, oversized delta,
-        pattern violation, pivot breakdown — cold-factorizes exactly as
-        before.
+    def execute(self, plan: QueryPlan) -> BatchResult:
+        """Run a plan down the resolution ladder, then batch-solve.
+
+        Every group is served by the first tier that can: cached factors
+        (memory or store), policy reuse (approximate policies only),
+        rank-``k`` correction, lineage refresh — everything else (no
+        candidate, gates failed, oversized delta, pattern violation, pivot
+        breakdown) cold-factorizes exactly as before.  The per-tier serve
+        counts land in :attr:`PlannerStats.resolutions` under the tier
+        names.
         """
         self._prune_stale_bindings()
-        systems: Dict[SystemKey, FactorizedSystem] = {}
-        misses: List[PlannedGroup] = []
-        for group in plan.groups:
-            cached = self._cache.lookup(group.key)
-            if cached is None:
-                misses.append(group)
-            else:
-                systems[group.key] = cached
-        reused, records, remaining = self._policy_reuse(misses)
-        corrected, corrected_records, remaining = self._corrected_reuse(remaining)
-        refreshed, cold = self._refresh_misses(remaining)
-        # Use the reused / refreshed / freshly factorized systems directly: a
-        # size-bounded cache may already have evicted early ones by the time
-        # the batch solves.
-        systems.update(
-            {key: system for key, (_, system) in reused.items()}
+        resolved, resolutions, records = self._ladder.resolve(
+            plan.groups, self._resolution_context()
         )
-        systems.update(
-            {key: solver for key, (_, solver) in corrected.items()}
-        )
-        systems.update(refreshed)
-        systems.update(self._factorize(cold))
         results: List[Optional[np.ndarray]] = [None] * len(plan.batch)
         result_hits = 0
         for group in plan.groups:
-            # Approximate answers are cached under the PARENT's key (they
-            # are, verbatim, that system's answers), never under the miss
-            # key — a later exact answer for the miss key must not be
-            # shadowed by an approximation.  Rank-k corrected answers are a
-            # function of the *corrector* (parent factors + applied delta),
-            # not of any cached system, so they bypass the result cache
-            # entirely (cache_base None).
-            reuse = reused.get(group.key)
-            correction = corrected.get(group.key)
-            if reuse is not None:
-                cache_base: Optional[SystemKey] = reuse[0]
-            elif correction is not None:
-                cache_base = correction[0]
-            else:
-                cache_base = group.key
+            resolution = resolved[group.key]
             result_hits += self._answer_group(
                 group,
-                systems[group.key],
+                resolution.solver,
                 results,
-                cache_base=cache_base,
-                approximate=reuse is not None or correction is not None,
+                cache_base=resolution.cache_base,
+                approximate=resolution.approximate,
             )
         for direct in plan.direct:
             # Copy: the plan may be executed again, and callers own their
@@ -1251,18 +669,14 @@ class QueryPlanner:
         stats = PlannerStats(
             queries=len(plan.batch),
             groups=len(plan.groups),
-            factorizations=len(cold),
-            cache_hits=len(plan.groups) - len(misses),
             direct_answers=len(plan.direct),
-            refreshes=len(refreshed),
-            qc_reuses=len(reused),
-            corrected_reuses=len(corrected),
             result_hits=result_hits,
+            resolutions=resolutions,
         )
         return BatchResult(
             results=list(results),
             stats=stats,
-            approximations=tuple(records) + tuple(corrected_records),
+            approximations=tuple(records),
         )
 
     def run(self, batch: Union[QueryBatch, Sequence[Query]]) -> BatchResult:
@@ -1407,517 +821,8 @@ class QueryPlanner:
             results[position] = answers[column]
         return hits
 
-    # ------------------------------------------------------------------ #
-    # Policy reuse (precedence step 2)
-    # ------------------------------------------------------------------ #
     def _snapshot_of(self, key: SystemKey) -> Optional[GraphSnapshot]:
         """The graph a cached key's system was composed from, if known."""
         if isinstance(key.system, GraphSnapshot):
             return key.system
         return self._snapshots.get(key.system)
-
-    def _policy_reuse(
-        self, groups: Sequence[PlannedGroup]
-    ) -> Tuple[
-        Dict[SystemKey, Tuple[SystemKey, FactorizedSystem]],
-        List[ApproximationRecord],
-        List[PlannedGroup],
-    ]:
-        """Answer miss groups from similar cached systems, where the policy allows.
-
-        Returns the borrowed ``(parent key, system)`` pairs keyed by the
-        *miss* group's key (they are deliberately NOT installed in the
-        factor cache — the cache maps a key to factors of *that* system, and
-        aliasing would turn a bounded approximation into a silent cache
-        hit), the audit records, and the groups that fall through to
-        refresh / cold factorization.
-        """
-        if not groups or self._policy.is_exact:
-            return {}, [], list(groups)
-        reused: Dict[SystemKey, Tuple[SystemKey, FactorizedSystem]] = {}
-        records: List[ApproximationRecord] = []
-        remaining: List[PlannedGroup] = []
-        for group in groups:
-            found = self._reuse_candidate(group)
-            if found is None:
-                remaining.append(group)
-                continue
-            parent_key, decision = found
-            system = self._cache.peek(parent_key)
-            if system is None:  # pragma: no cover - memo cleared on eviction
-                remaining.append(group)
-                continue
-            # Freshen recency (the parent is in active use) without touching
-            # the pinned per-group hit/miss accounting.
-            self._cache.touch(parent_key)
-            reused[group.key] = (parent_key, system)
-            records.append(ApproximationRecord(
-                positions=group.positions,
-                system=group.key.system,
-                parent_system=parent_key.system,
-                similarity=decision.similarity,
-                loss_estimate=decision.loss_estimate,
-                policy=self._policy.name,
-            ))
-        return reused, records, remaining
-
-    #: Bound on the candidate-scan memo (distinct (kind, damping, child)
-    #: combinations remembered between cache changes).
-    _REUSE_MEMO_LIMIT = 128
-
-    def _reuse_candidate(
-        self, group: PlannedGroup
-    ) -> Optional[Tuple[SystemKey, "ReuseDecision"]]:
-        """Scan cached systems for the policy's best admissible stand-in.
-
-        Only kind-composed keys participate (a custom matrix builder is
-        opaque to similarity and loss scoring, and matrix parameters like the
-        hitting-time target change the system beyond the snapshot).  The best
-        candidate is the one the policy scores highest (similarity, then
-        loss); ties keep the first-seen candidate, so the scan is
-        deterministic for a given cache state.
-
-        Scan outcomes — including "no candidate" — are memoized per
-        ``(kind, damping, child snapshot)`` until the factor cache changes
-        (any install or eviction clears the memo through the invalidation
-        listener, as does a new snapshot binding), so steady-state repeated
-        batches pay the full delta-scoring scan once, not per batch.
-        """
-        key = group.key
-        if key.matrix_builder is not None or key.matrix_params:
-            return None
-        child = group.queries[0].snapshot
-        memo_key = (key.kind, key.damping, child)
-        if memo_key in self._reuse_memo:
-            self._reuse_memo.move_to_end(memo_key)
-            return self._reuse_memo[memo_key]
-        best: Optional[Tuple[SystemKey, "ReuseDecision"]] = None
-        for candidate in self._cache.keys():
-            if (
-                candidate.kind is not key.kind
-                or candidate.damping != key.damping
-                or candidate.matrix_params
-                or candidate.matrix_builder is not None
-            ):
-                continue
-            parent = self._snapshot_of(candidate)
-            if parent is None or parent.n != child.n:
-                continue
-            if not self._policy.prefilter(parent, child):
-                continue
-            delta = GraphDelta.between(parent, child)
-            decision = self._policy.evaluate_reuse(
-                parent, child, kind=key.kind, damping=key.damping, delta=delta
-            )
-            if decision is None:
-                continue
-            if best is None or decision.preferable_to(best[1]):
-                best = (candidate, decision)
-        self._reuse_memo[memo_key] = best
-        while len(self._reuse_memo) > self._REUSE_MEMO_LIMIT:
-            self._reuse_memo.popitem(last=False)
-        return best
-
-    # ------------------------------------------------------------------ #
-    # Corrected reuse (precedence step 3)
-    # ------------------------------------------------------------------ #
-    def _corrected_reuse(
-        self, groups: Sequence[PlannedGroup]
-    ) -> Tuple[
-        Dict[SystemKey, Tuple[Optional[SystemKey], FactorizedSystem]],
-        List[ApproximationRecord],
-        List[PlannedGroup],
-    ]:
-        """Answer miss groups via rank-``k`` SMW correction, where licensed.
-
-        Returns ``(cache_base, solver)`` pairs keyed by the miss group's key
-        — the solver is the parent's own :class:`FactorizedSystem` for
-        rank-0 decisions (pure sharing, result-cacheable under the parent's
-        key like verbatim reuse) or a :class:`~repro.lu.smw.
-        WoodburyCorrector` for rank ``>= 1`` (``cache_base`` ``None``: the
-        corrected answer belongs to no cached system) — plus the audit
-        records and the groups falling through to refresh / cold.  Like
-        verbatim reuse, nothing is installed in the factor cache.
-        """
-        if not groups or not getattr(self._policy, "supports_correction", False):
-            return {}, [], list(groups)
-        corrected: Dict[SystemKey, Tuple[Optional[SystemKey], FactorizedSystem]] = {}
-        records: List[ApproximationRecord] = []
-        remaining: List[PlannedGroup] = []
-        for group in groups:
-            found = self._corrected_candidate(group)
-            if found is None:
-                remaining.append(group)
-                continue
-            parent_key, decision, mode, solver, cache_base = found
-            if decision.rank == 0 and self._cache.peek(parent_key) is None:
-                # pragma: no cover - memo cleared on eviction
-                remaining.append(group)
-                continue
-            # Freshen recency (the parent's factors are in active use; a
-            # rank-k corrector reads them on every batch) without touching
-            # the pinned per-group hit/miss accounting.
-            self._cache.touch(parent_key)
-            corrected[group.key] = (cache_base, solver)
-            records.append(ApproximationRecord(
-                positions=group.positions,
-                system=group.key.system,
-                parent_system=parent_key.system,
-                similarity=decision.similarity,
-                loss_estimate=decision.loss_estimate,
-                policy=self._policy.name,
-                rank=decision.rank,
-                mode=mode,
-            ))
-        return corrected, records, remaining
-
-    def _corrected_candidate(self, group: PlannedGroup) -> Optional[Tuple]:
-        """Scan cached systems for the best admissible corrected stand-in.
-
-        Two candidate families share the scan, the bound machinery and the
-        memo:
-
-        * **same damping, different snapshot** — the step-2 scan's
-          candidates, but judged by :meth:`~repro.policy.base.ReusePolicy.
-          correct` against the *residual* of ``ΔA = system_delta(parent,
-          child)`` after its ``k`` dominant columns, instead of against the
-          full delta;
-        * **same snapshot, different damping** — a cached ``(kind, snapshot,
-          d')`` system whose delta to the miss is ``(d' - d)·M``
-          (:func:`~repro.graphs.matrixkind.damping_delta`).  The corrected
-          system mixes columns damped at ``d`` and ``d'``, so the
-          conservative amplification constant ``1/(1 - max(d, d'))`` is
-          certified (the Laplacian ignores damping entirely: its delta is
-          empty and the reuse exact).
-
-        The memo entry holds the *built* corrector (its setup sweeps are the
-        expensive part), so steady-state repeated batches pay them once; any
-        factor-cache change clears the memo, which also guarantees a held
-        corrector never outlives the factors it wraps.  A candidate whose
-        capacitance is singular or ill-conditioned is discarded (falls
-        through to refresh / cold) rather than served.
-        """
-        key = group.key
-        if key.matrix_builder is not None or key.matrix_params:
-            return None
-        certifies = getattr(self._policy, "certifies_kind", None)
-        if certifies is not None and not certifies(key.kind):
-            return None
-        child = group.queries[0].snapshot
-        memo_key = (key.kind, key.damping, child)
-        if memo_key in self._corrected_memo:
-            self._corrected_memo.move_to_end(memo_key)
-            return self._corrected_memo[memo_key]
-        from repro.core.similarity import snapshot_similarity
-
-        best: Optional[Tuple[SystemKey, "CorrectionDecision", str, Entries]] = None
-        for candidate in self._cache.keys():
-            if (
-                candidate.kind is not key.kind
-                or candidate.matrix_params
-                or candidate.matrix_builder is not None
-            ):
-                continue
-            parent = self._snapshot_of(candidate)
-            if parent is None or parent.n != child.n:
-                continue
-            if candidate.damping == key.damping:
-                if not self._policy.prefilter(parent, child):
-                    continue
-                delta = GraphDelta.between(parent, child)
-                similarity = snapshot_similarity(parent, child, delta=delta)
-                entries = system_delta(
-                    parent, child, kind=key.kind, damping=key.damping, delta=delta
-                )
-                mode = "corrected"
-                amplifier = (
-                    0.0 if key.kind is MatrixKind.LAPLACIAN else key.damping
-                )
-            else:
-                if parent != child:
-                    continue
-                entries = damping_delta(
-                    child,
-                    key.kind,
-                    from_damping=candidate.damping,
-                    to_damping=key.damping,
-                )
-                similarity = 1.0
-                mode = "cross-damping"
-                amplifier = (
-                    0.0
-                    if key.kind is MatrixKind.LAPLACIAN
-                    else max(key.damping, candidate.damping)
-                )
-            decision = self._policy.correct(
-                entries, amplifier_damping=amplifier, similarity=similarity
-            )
-            if decision is None:
-                continue
-            if best is None or decision.preferable_to(best[1]):
-                best = (candidate, decision, mode, entries)
-        found = None if best is None else self._build_correction(*best)
-        self._corrected_memo[memo_key] = found
-        while len(self._corrected_memo) > self._REUSE_MEMO_LIMIT:
-            self._corrected_memo.popitem(last=False)
-        return found
-
-    def _build_correction(
-        self,
-        parent_key: SystemKey,
-        decision: "CorrectionDecision",
-        mode: str,
-        entries: Entries,
-    ) -> Optional[Tuple]:
-        """Materialize a licensed correction into a servable solver.
-
-        Rank 0 needs no numerical setup: the parent's system answers as-is
-        (verbatim-grade sharing, cache base = parent key).  Rank ``k``
-        gathers the decision's columns of ``ΔA`` into a dense ``(n, k)``
-        update block and builds the :class:`~repro.lu.smw.WoodburyCorrector`
-        (``k`` triangular sweeps + the capacitance factorization, paid once
-        per memo lifetime).  Returns ``None`` when the parent vanished or
-        the capacitance check fails — the group then falls through to
-        refresh / cold, never serving an uncertified answer.
-        """
-        parent_system = self._cache.peek(parent_key)
-        if parent_system is None:  # pragma: no cover - scan just saw the key
-            return None
-        if decision.rank == 0:
-            return (parent_key, decision, mode, parent_system, parent_key)
-        n = parent_system.matrix.n
-        update = np.zeros((n, decision.rank), dtype=float)
-        offsets = {column: t for t, column in enumerate(decision.columns)}
-        for (row, column), value in entries.items():
-            t = offsets.get(column)
-            if t is not None:
-                update[row, t] += value
-        try:
-            corrector = WoodburyCorrector(
-                parent_system.factors,
-                parent_system.ordering,
-                update,
-                decision.columns,
-            )
-        except SingularMatrixError:
-            return None
-        return (parent_key, decision, mode, corrector, None)
-
-    # ------------------------------------------------------------------ #
-    # Delta-refresh fan-out
-    # ------------------------------------------------------------------ #
-    def _refresh_parent(
-        self, key: SystemKey
-    ) -> Optional[Tuple[SystemKey, GraphSnapshot, GraphSnapshot, GraphDelta]]:
-        """Find a cached parent system to delta-refresh ``key`` from.
-
-        Custom-matrix keys never refresh (their composition is opaque to the
-        system-delta layer).  Explicit lineage wins; with ``auto_refresh`` a
-        snapshot-keyed miss falls back to scanning the cached keys for the
-        nearest same-shape snapshot.
-        """
-        if key.matrix_builder is not None:
-            return None
-        lineage = self._lineage.get(key.system)
-        if lineage is not None:
-            old_system, old_snapshot, new_snapshot = lineage
-            old_key = dataclasses.replace(key, system=old_system)
-            if self._cache.peek(old_key) is None:
-                return None
-            return (
-                old_key,
-                old_snapshot,
-                new_snapshot,
-                GraphDelta.between(old_snapshot, new_snapshot),
-            )
-        if not self._auto_refresh or not isinstance(key.system, GraphSnapshot):
-            return None
-        new_snapshot = key.system
-        best = None
-        for candidate in self._cache.keys():
-            if (
-                candidate.kind is key.kind
-                and candidate.damping == key.damping
-                and candidate.matrix_params == key.matrix_params
-                and candidate.matrix_builder is None
-                and isinstance(candidate.system, GraphSnapshot)
-                and candidate.system.n == new_snapshot.n
-            ):
-                delta = GraphDelta.between(candidate.system, new_snapshot)
-                if best is None or delta.size < best[3].size:
-                    best = (candidate, candidate.system, new_snapshot, delta)
-        return best
-
-    def _has_lineage(self, key: SystemKey) -> bool:
-        """Whether a refreshable lineage was registered for this key's system."""
-        return key.matrix_builder is None and key.system in self._lineage
-
-    def _refresh_misses(
-        self, groups: Sequence[PlannedGroup]
-    ) -> Tuple[Dict[SystemKey, FactorizedSystem], List[PlannedGroup]]:
-        """Bennett-refresh the miss groups that have a cached lineage parent.
-
-        Returns the refreshed systems (committed to the cache under their new
-        keys) and the groups still needing a cold factorization — including
-        any whose prepared refresh broke down numerically.  Refresh units
-        dispatch through the same executors as factor units, so independent
-        refreshes fan out onto a worker pool.
-
-        Refreshes run in waves: a group whose registered parent is not cached
-        *yet* may be the next link of a lineage chain whose earlier link is
-        refreshing in this same batch, so it is deferred until a wave commits
-        nothing new.  A group whose lineage parent never materializes counts
-        a ``refresh_fallbacks`` (matching :meth:`FactorCache.refresh` on a
-        missing parent) and factorizes cold.
-        """
-        refreshed: Dict[SystemKey, FactorizedSystem] = {}
-        cold: List[PlannedGroup] = []
-        pending = list(groups)
-        record_provenance = self._cache.disk_store is not None
-        while pending:
-            jobs: List[Tuple[PlannedGroup, SparseMatrix, SystemKey, Entries]] = []
-            payloads = []
-            deferred: List[PlannedGroup] = []
-            for group in pending:
-                parent = self._refresh_parent(group.key)
-                if parent is None:
-                    if self._has_lineage(group.key):
-                        deferred.append(group)
-                    else:
-                        cold.append(group)
-                    continue
-                old_key, old_snapshot, new_snapshot, graph_delta = parent
-                entries = system_delta(
-                    old_snapshot,
-                    new_snapshot,
-                    kind=group.key.kind,
-                    damping=group.key.damping,
-                    delta=graph_delta,
-                )
-                prepared = self._cache.prepare_refresh(old_key, entries)
-                if prepared is None:
-                    cold.append(group)
-                    continue
-                ordering = prepared.ordering
-                mapped = (
-                    ordering.map_entries(entries)
-                    if ordering is not None
-                    else dict(entries)
-                )
-                query = group.queries[0]
-                new_matrix = get_spec(query.measure).system_matrix(
-                    query.snapshot, query.damping, query.param_dict
-                )
-                jobs.append((group, new_matrix, old_key, mapped))
-                payloads.append((new_matrix, prepared.factors, ordering, mapped))
-            committed = 0
-            if jobs:
-                exec_plan = plan_refresh_batch(payloads)
-                outcome = resolve_executor(self._executor).execute(exec_plan)
-                for (group, new_matrix, old_key, mapped), decomposition in zip(
-                    jobs, outcome.decompositions
-                ):
-                    if decomposition.factors is None:
-                        self._cache.refresh_failed()
-                        cold.append(group)
-                        continue
-                    system = FactorizedSystem(
-                        new_matrix, decomposition.ordering, decomposition.factors
-                    )
-                    provenance = None
-                    parent_system = (
-                        self._cache.peek(old_key) if record_provenance else None
-                    )
-                    if parent_system is not None:
-                        from repro.store.factorstore import RefreshProvenance
-
-                        # The refresh units freeze and apply the delta in
-                        # sorted-key order (see plan_refresh_batch); the
-                        # provenance must record exactly that order for a
-                        # bit-exact replay at restore time.
-                        provenance = RefreshProvenance(
-                            old_key, parent_system, dict(sorted(mapped.items()))
-                        )
-                    self._cache.commit_refresh(
-                        group.key, system, provenance=provenance
-                    )
-                    refreshed[group.key] = system
-                    committed += 1
-            if not deferred:
-                break
-            if committed == 0:
-                for group in deferred:
-                    self._cache.refresh_failed()
-                    cold.append(group)
-                break
-            pending = deferred
-        return refreshed, cold
-
-    # ------------------------------------------------------------------ #
-    # Factorization fan-out
-    # ------------------------------------------------------------------ #
-    @staticmethod
-    def _describe_group(group: PlannedGroup) -> str:
-        """One-line system description for factor-unit failure reports."""
-        key = group.key
-        query = group.queries[0]
-        if isinstance(key.system, GraphSnapshot):
-            system = (
-                f"snapshot(n={key.system.n}, edges={key.system.edge_count})"
-            )
-        else:
-            system = f"token {key.system!r}"
-        parts = [
-            f"measure={query.measure!r}",
-            f"kind={key.kind.name}",
-            f"damping={key.damping}",
-            f"system={system}",
-        ]
-        if key.matrix_params:
-            parts.append(f"matrix_params={key.matrix_params!r}")
-        return ", ".join(parts)
-
-    def _factorize(
-        self, groups: Sequence[PlannedGroup]
-    ) -> Dict[SystemKey, FactorizedSystem]:
-        """Factorize each group's system matrix once, via the exec layer.
-
-        Returns the new systems keyed by group key (they are also stored in
-        the cache, which may evict them immediately if it is size-bounded).
-
-        Factor units report failures instead of raising (one poisoned query
-        must not abort its siblings with a bare worker traceback): every
-        healthy group's system is computed *and cached* first, then a single
-        :class:`~repro.errors.FactorizationError` carries the annotated
-        per-unit reports — so a retry without the poisoned queries answers
-        warm from the cache.
-        """
-        if not groups:
-            return {}
-        matrices = []
-        labels = []
-        for group in groups:
-            query = group.queries[0]
-            spec = get_spec(query.measure)
-            matrices.append(
-                spec.system_matrix(query.snapshot, query.damping, query.param_dict)
-            )
-            labels.append(self._describe_group(group))
-        exec_plan = plan_factor_batch(matrices, labels=labels)
-        outcome = resolve_executor(self._executor).execute(exec_plan)
-        systems: Dict[SystemKey, FactorizedSystem] = {}
-        failures: List[str] = []
-        for group, matrix, label, decomposition in zip(
-            groups, matrices, labels, outcome.decompositions
-        ):
-            if decomposition.factors is None:
-                failures.append(decomposition.error or f"factorization failed [{label}]")
-                continue
-            system = FactorizedSystem(
-                matrix, decomposition.ordering, decomposition.factors
-            )
-            systems[group.key] = system
-            self._cache.store(group.key, system)
-        if failures:
-            raise FactorizationError(failures)
-        return systems

@@ -518,7 +518,9 @@ class MeasureServer:
             self._stats.answered += len(live)
             self._stats.failed += failed
             self._stats.cancelled += cancelled
-            self._stats.record_batch(records, outcome.approximations)
+            self._stats.record_batch(
+                records, outcome.approximations, outcome.stats.resolutions
+            )
 
     def _execute_degraded(
         self, live: List[Tuple[_QueryTicket, Query]], batch_started: float
@@ -532,6 +534,7 @@ class MeasureServer:
         """
         records: List[RequestRecord] = []
         approximations = []
+        resolutions: Dict[str, int] = {}
         answered = 0
         failed = 0
         for ticket, query in live:
@@ -542,6 +545,8 @@ class MeasureServer:
                 ticket.future.set_exception(error)
                 failed += 1
                 continue
+            for tier, count in outcome.stats.resolutions.items():
+                resolutions[tier] = resolutions.get(tier, 0) + count
             ticket.future.set_result(outcome.results[0])
             done = time.perf_counter()
             records.append(RequestRecord(
@@ -557,4 +562,4 @@ class MeasureServer:
         with self._lock:
             self._stats.answered += answered
             self._stats.failed += failed
-            self._stats.record_batch(records, approximations)
+            self._stats.record_batch(records, approximations, resolutions)

@@ -117,6 +117,13 @@ class ServerStats:
     planner_cache_info:
         ``QueryPlanner.cache_info()`` at snapshot time (factor + result
         cache counters).
+    resolutions:
+        Lifetime per-tier serve counts, summed over every executed batch's
+        :attr:`~repro.query.planner.PlannerStats.resolutions` — ``{tier
+        name: planned groups that tier served}``, the same uniform surface
+        the planner reports per batch (``"hit"``, ``"store_restore"``,
+        ``"verbatim_reuse"``, ``"corrected_reuse"``, ``"refresh"``,
+        ``"cold"`` under the default ladder).
     """
 
     requests: int
@@ -134,6 +141,7 @@ class ServerStats:
     corrected_served: int
     recent_approximations: Tuple[ApproximationRecord, ...]
     planner_cache_info: Dict[str, int]
+    resolutions: Dict[str, int] = dataclasses.field(default_factory=dict)
 
     @property
     def hit_rate(self) -> float:
@@ -166,6 +174,7 @@ class StatsCollector:
         self.batch_size_histogram: Dict[int, int] = {}
         self.approximations_served = 0
         self.corrected_served = 0
+        self.resolutions: Dict[str, int] = {}
         self._records: Deque[RequestRecord] = deque(maxlen=history)
         self._recent_approximations: Deque[ApproximationRecord] = deque(maxlen=64)
 
@@ -173,9 +182,12 @@ class StatsCollector:
         self,
         records: Sequence[RequestRecord],
         approximations: Sequence[ApproximationRecord] = (),
+        resolutions: Optional[Dict[str, int]] = None,
     ) -> None:
         """Record one executed micro-batch and its per-request latencies."""
         self.batches += 1
+        for tier, count in (resolutions or {}).items():
+            self.resolutions[tier] = self.resolutions.get(tier, 0) + count
         if records:
             size = records[0].batch_size
             self.batch_size_histogram[size] = (
@@ -211,4 +223,5 @@ class StatsCollector:
             corrected_served=self.corrected_served,
             recent_approximations=tuple(self._recent_approximations),
             planner_cache_info=dict(planner_cache_info or {}),
+            resolutions=dict(self.resolutions),
         )

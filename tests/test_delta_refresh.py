@@ -19,7 +19,6 @@ Three contracts are pinned here:
 
 from __future__ import annotations
 
-import dataclasses
 
 import numpy as np
 import pytest
@@ -238,7 +237,7 @@ class TestFactorCacheRefresh:
         # the parent entry cached and answering.
         cache, old_key, new_key, before, after = _cached_pair()
         monkeypatch.setattr(
-            "repro.query.planner.bennett_update",
+            "repro.query.cache.bennett_update",
             lambda *a, **k: (_ for _ in ()).throw(SingularMatrixError(0, 0.0)),
         )
         assert cache.refresh(old_key, new_key, system_delta(before, after),
@@ -267,7 +266,7 @@ class TestFactorCacheRefresh:
     def test_pivot_breakdown_fallback(self, monkeypatch):
         cache, old_key, new_key, before, after = _cached_pair()
         monkeypatch.setattr(
-            "repro.query.planner.bennett_update",
+            "repro.query.cache.bennett_update",
             lambda *a, **k: (_ for _ in ()).throw(SingularMatrixError(0, 0.0)),
         )
         assert cache.refresh(old_key, new_key, system_delta(before, after)) is None

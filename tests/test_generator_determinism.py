@@ -60,10 +60,11 @@ class TestSyntheticEGS:
 
 class TestGrowingEGS:
     def test_same_seed_reproduces_identical_egs(self):
-        make = lambda: growing_egs(
-            nodes=30, snapshots=5, initial_edges=60, edges_per_step=7, seed=77,
-            directed=False,
-        )
+        def make():
+            return growing_egs(
+                nodes=30, snapshots=5, initial_edges=60, edges_per_step=7,
+                seed=77, directed=False,
+            )
         assert _egs_edge_sets(make()) == _egs_edge_sets(make())
 
     def test_different_seed_changes_the_egs(self):

@@ -19,7 +19,6 @@ from repro.lu.symbolic import (
     symbolic_pattern_size,
     union_pattern,
 )
-from repro.sparse.csr import SparseMatrix
 from repro.sparse.pattern import SparsityPattern
 from tests.conftest import random_dd_matrix
 

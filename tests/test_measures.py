@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.errors import DimensionError, MeasureError
+from repro.errors import MeasureError
 from repro.graphs.generators import growing_egs
 from repro.graphs.snapshot import GraphSnapshot
 from repro.measures.base import SnapshotMeasureSolver, normalize_distribution, rank_of

@@ -147,7 +147,6 @@ class TestPolicyObjects:
             assert policy.certifies_kind(kind)
 
     def test_symmetric_walk_spec_falls_through_to_cold(self, rng):
-        from repro.graphs.matrixkind import measure_matrix
         from repro.query.spec import (
             MeasureSpec, get_spec, register_spec, unregister_spec,
         )

@@ -124,7 +124,7 @@ class TestVectorHelpers:
 
 class TestConversions:
     def test_scipy_round_trip(self, rng):
-        scipy_sparse = pytest.importorskip("scipy.sparse")
+        pytest.importorskip("scipy.sparse")
         from repro.sparse.convert import from_scipy, to_scipy
 
         matrix = random_dd_matrix(8, 24, rng)
