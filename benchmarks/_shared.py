@@ -17,9 +17,11 @@ from __future__ import annotations
 
 import contextlib
 import functools
+import os
+import platform
 import threading
 import time
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.bench.runner import AlgorithmReport, WorkloadRunner
 from repro.bench.workloads import Workload
@@ -28,6 +30,41 @@ from repro.datasets.patent import PatentConfig, generate_patent_dataset
 from repro.datasets.wiki import WikiConfig, generate_wiki_egs
 from repro.graphs.ems import EvolvingMatrixSequence
 from repro.graphs.matrixkind import MatrixKind
+
+def host_info() -> Dict[str, object]:
+    """CPU/platform facts every recorded benchmark result self-describes with.
+
+    ``usable_cpus`` is the count this *process* may actually run on
+    (``os.process_cpu_count()`` where available — 3.13+ — else the
+    scheduling affinity mask), which is the honest number for parallel
+    runs: this container typically exposes 1 usable core, so recorded
+    pool/shard runs show dispatch overhead, not speedup.
+    """
+    process_cpu_count = getattr(os, "process_cpu_count", None)
+    usable: Optional[int] = None
+    if process_cpu_count is not None:
+        usable = process_cpu_count()
+    if usable is None:
+        try:
+            usable = len(os.sched_getaffinity(0))
+        except (AttributeError, OSError):
+            usable = os.cpu_count()
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "usable_cpus": usable,
+    }
+
+
+def host_info_line() -> str:
+    """One markdown bullet recording :func:`host_info` in a results file."""
+    info = host_info()
+    return (
+        f"- machine: {info['platform']}, python {info['python']}, "
+        f"{info['usable_cpus']} usable CPU core(s) of {info['cpu_count']} visible"
+    )
+
 
 #: α values swept in Figures 6-8 (the paper sweeps 0.90 … 1.00).
 ALPHAS: List[float] = [0.90, 0.94, 0.98, 1.00]

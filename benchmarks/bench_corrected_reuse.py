@@ -41,7 +41,7 @@ from typing import List, Tuple
 
 import numpy as np
 
-from _shared import percentile_of, track_memory
+from _shared import host_info_line, percentile_of, track_memory
 from bench_qc_serving import build_chain
 from repro.core.quality import reuse_loss_bound
 from repro.graphs.matrixkind import MatrixKind, damping_delta, system_delta
@@ -100,6 +100,7 @@ def main() -> None:
                         help="secondary damping factor (cross-damping traffic)")
     parser.add_argument("--seed", type=int, default=42, help="chain seed")
     args = parser.parse_args()
+    print(host_info_line())
 
     chain = build_chain(args.nodes, args.snapshots, args.added, args.removed, args.seed)
 

@@ -30,6 +30,8 @@ import numpy as np
 from repro.graphs.snapshot import GraphSnapshot
 from repro.query import QueryBatch, QueryPlanner
 
+from _shared import host_info_line
+
 #: Refreshed answers must match cold answers to this tolerance.
 TOLERANCE = 1e-8
 
@@ -93,6 +95,7 @@ def main() -> None:
     parser.add_argument("--removed", type=int, default=2, help="edges removed per step")
     parser.add_argument("--seed", type=int, default=42, help="chain seed")
     args = parser.parse_args()
+    print(host_info_line())
 
     chain = build_chain(args.nodes, args.snapshots, args.added, args.removed, args.seed)
 

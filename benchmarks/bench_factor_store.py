@@ -39,6 +39,8 @@ from repro.query import QueryBatch, QueryPlanner
 from repro.query.spec import FactorizedSystem, SystemKey
 from repro.store import FactorStore
 
+from _shared import host_info_line
+
 DAMPING = 0.85
 
 
@@ -96,6 +98,7 @@ def main() -> None:
     parser.add_argument("--removed", type=int, default=2, help="edges removed per step")
     parser.add_argument("--seed", type=int, default=42, help="chain seed")
     args = parser.parse_args()
+    print(host_info_line())
 
     chain = build_chain(args.nodes, args.snapshots, args.added, args.removed, args.seed)
     keys = [SystemKey(s, MatrixKind.RANDOM_WALK, DAMPING) for s in chain]

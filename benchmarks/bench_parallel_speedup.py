@@ -25,7 +25,6 @@ from __future__ import annotations
 
 import argparse
 import os
-import platform
 import time
 from typing import Dict, List, Tuple
 
@@ -35,6 +34,8 @@ from repro.core.cinc import decompose_sequence_cinc
 from repro.core.clude import decompose_sequence_clude
 from repro.core.inc import decompose_sequence_inc
 from repro.exec import ParallelExecutor, canonical_sequence_state
+
+from _shared import host_info_line
 
 ALPHA = 0.95
 
@@ -93,7 +94,7 @@ def format_markdown(header: List[str], rows: List[List[str]], snapshots: int) ->
         "# Parallel execution engine: speedup vs. workers",
         "",
         f"- date: {time.strftime('%Y-%m-%d')}",
-        f"- machine: {platform.platform()}, {os.cpu_count()} CPU core(s) visible",
+        host_info_line(),
         f"- workload: `parallel_speedup_workload(snapshots={snapshots})` "
         f"(synthetic RWR matrices, n=150, T={snapshots})",
         "- wall times from `SequenceResult.wall_time`; every parallel run verified "
@@ -124,6 +125,7 @@ def main() -> None:
                         help="optional markdown file to record the results in")
     args = parser.parse_args()
 
+    print(host_info_line())
     print(f"parallel speedup benchmark: T={args.snapshots}, "
           f"workers={args.workers}, cores={os.cpu_count()}")
     header, rows = run(args.snapshots, list(args.workers))

@@ -33,7 +33,7 @@ from typing import List, Tuple
 
 import numpy as np
 
-from _shared import percentile_of, track_memory
+from _shared import host_info_line, percentile_of, track_memory
 from repro.graphs.snapshot import GraphSnapshot
 from repro.policy import QCPolicy
 from repro.query import BatchResult, QueryBatch, QueryPlanner
@@ -101,6 +101,7 @@ def main() -> None:
                         help="quality-loss ceiling of the QC policy")
     parser.add_argument("--seed", type=int, default=42, help="chain seed")
     args = parser.parse_args()
+    print(host_info_line())
 
     chain = build_chain(args.nodes, args.snapshots, args.added, args.removed, args.seed)
 

@@ -29,6 +29,8 @@ from repro.measures.ppr import ppr_scores
 from repro.measures.rwr import rwr_scores
 from repro.query import QueryBatch, QueryPlanner
 
+from _shared import host_info_line
+
 
 def build_workload(nodes: int, queries: int, snapshots: int = 2):
     """Return (batch, thunk list) for a mixed RWR+PPR+PageRank workload.
@@ -72,6 +74,7 @@ def main() -> None:
     parser.add_argument("--snapshots", type=int, default=2, help="distinct snapshots")
     parser.add_argument("--reps", type=int, default=3, help="timing repetitions")
     args = parser.parse_args()
+    print(host_info_line())
 
     batch, naive = build_workload(args.nodes, args.queries, args.snapshots)
 

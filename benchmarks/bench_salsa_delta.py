@@ -37,6 +37,8 @@ import numpy as np
 from repro.graphs.matrixkind import MatrixKind, measure_matrix, system_delta
 from repro.graphs.snapshot import GraphSnapshot
 
+from _shared import host_info_line
+
 KINDS = (MatrixKind.SALSA_AUTHORITY, MatrixKind.SALSA_HUB)
 
 
@@ -127,6 +129,7 @@ def main() -> None:
     parser.add_argument("--speedup-floor", type=float, default=1.5,
                         help="required localized-vs-full speedup at the largest size")
     args = parser.parse_args()
+    print(host_info_line())
     sizes = sorted(args.sizes)
 
     print(f"localized vs full SALSA system delta (both kinds, "

@@ -39,6 +39,8 @@ from repro.graphs.snapshot import GraphSnapshot
 from repro.query import QueryBatch, QueryPlanner, make_query
 from repro.serve import MeasureServer
 
+from _shared import host_info_line
+
 from bench_delta_refresh import build_chain
 
 
@@ -115,6 +117,7 @@ def main() -> None:
                         help="server admission-window length")
     parser.add_argument("--seed", type=int, default=42, help="workload seed")
     args = parser.parse_args()
+    print(host_info_line())
 
     chain = build_chain(args.nodes, args.snapshots, args.added, args.removed, args.seed)
     bursts = replay_queries(chain, args.queries, args.hot_keys, args.zipf, args.seed)

@@ -44,6 +44,7 @@ from repro.query import (
     registered_measures,
 )
 from repro.serve import MeasureServer, ServerStats
+from repro.shard import SharedMemoryArena, ShardedPlanner
 from repro.store import FactorStore
 from repro.sparse.csr import SparseMatrix
 from repro.sparse.pattern import SparsityPattern
@@ -86,4 +87,6 @@ __all__ = [
     "registered_measures",
     "MeasureServer",
     "ServerStats",
+    "SharedMemoryArena",
+    "ShardedPlanner",
 ]

@@ -84,4 +84,5 @@ def decompose_sequence_bf(
         timing=TimingBreakdown.from_buckets(outcome.timings),
         cluster_count=len(matrices),
         wall_time=time.perf_counter() - started,
+        bytes_shipped=outcome.bytes_shipped,
     )

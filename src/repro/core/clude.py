@@ -184,4 +184,5 @@ def decompose_sequence_clude(
         timing=TimingBreakdown.from_buckets(timings),
         cluster_count=len(clusters),
         wall_time=time.perf_counter() - started,
+        bytes_shipped=outcome.bytes_shipped,
     )

@@ -110,4 +110,5 @@ def decompose_sequence_inc(
         timing=TimingBreakdown.from_buckets(outcome.timings),
         cluster_count=1,
         wall_time=time.perf_counter() - started,
+        bytes_shipped=outcome.bytes_shipped,
     )

@@ -75,6 +75,7 @@ def solve_qc_cinc(
         timing=result.timing,
         cluster_count=len(clusters),
         wall_time=result.wall_time + stopwatch.total("clustering"),
+        bytes_shipped=result.bytes_shipped,
     )
 
 
@@ -105,4 +106,5 @@ def solve_qc_clude(
         timing=result.timing,
         cluster_count=len(clusters),
         wall_time=result.wall_time + stopwatch.total("clustering"),
+        bytes_shipped=result.bytes_shipped,
     )

@@ -182,6 +182,11 @@ class SequenceResult:
     timing: TimingBreakdown
     cluster_count: int = 1
     wall_time: float = 0.0
+    #: Serialized bytes the executor shipped across process boundaries to
+    #: run this sequence (0 for serial execution; the summed pickled unit
+    #: sizes for the process pool) — the member-shipping cost the
+    #: shared-memory shard layer is measured against.
+    bytes_shipped: int = 0
 
     def __post_init__(self) -> None:
         if not self.decompositions:
@@ -265,4 +270,5 @@ class SequenceResult:
             "symbolic_time": self.timing.symbolic_time,
             "mean_fill_size": float(np.mean(self.fill_sizes)),
             "structural_ops": float(self.total_structural_ops),
+            "bytes_shipped": float(self.bytes_shipped),
         }

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import dataclasses
 import os
+import pickle
 import time
 from concurrent.futures import ProcessPoolExecutor as _ProcessPool
 from typing import Dict, List, Optional, Sequence, Tuple, Union
@@ -57,12 +58,19 @@ class ExecutionOutcome:
         executor; shrinks with workers for the parallel one.
     unit_count:
         Number of units executed.
+    bytes_shipped:
+        Serialized bytes the executor sent across process boundaries to
+        dispatch the units (summed over units in ``unit_id`` order).  Zero
+        for the serial executor; for the process pool it is the pickled
+        unit sizes — member matrices included — which is exactly the
+        shipping cost the shared-memory shard layer eliminates.
     """
 
     decompositions: List[MatrixDecomposition]
     timings: Dict[str, float]
     wall_time: float
     unit_count: int
+    bytes_shipped: int = 0
 
 
 def canonical_sequence_state(result: SequenceResult) -> List[Tuple]:
@@ -124,6 +132,7 @@ def merge_unit_results(
         timings=reduce_timings([result.timings for result in ordered]),
         wall_time=wall_time,
         unit_count=len(ordered),
+        bytes_shipped=sum(result.bytes_shipped for result in ordered),
     )
 
 
@@ -152,6 +161,11 @@ class SerialExecutor(Executor):
         return "SerialExecutor()"
 
 
+def _execute_unit_blob(blob: bytes) -> UnitResult:
+    """Pool entry point: the pre-pickled unit *is* the measured payload."""
+    return execute_unit(pickle.loads(blob))
+
+
 class ParallelExecutor(Executor):
     """Fan units out across a pool of worker processes.
 
@@ -167,6 +181,15 @@ class ParallelExecutor(Executor):
     immutable CSR arrays, so this is a read-only value copy) and return the
     unit's decompositions the same way.  Float64 values round-trip pickling
     exactly, which the bitwise serial≡parallel contract relies on.
+
+    That per-task value copy is the cost this executor silently pays on
+    every dispatch: each short-lived task re-ships its member matrices to
+    the pool.  The size is surfaced as ``bytes_shipped`` on every
+    :class:`UnitResult` (and summed on the
+    :class:`ExecutionOutcome`/:class:`~repro.core.result.SequenceResult`),
+    so it can be compared against the shared-memory shard path
+    (:mod:`repro.shard`), which drives it to zero.  The unit is pickled
+    here exactly once — the measured blob is what the pool transports.
     """
 
     def __init__(self, workers: Optional[int] = None) -> None:
@@ -180,10 +203,16 @@ class ParallelExecutor(Executor):
         units = list(units)
         if not units:
             return []
+        blobs = [
+            pickle.dumps(unit, protocol=pickle.HIGHEST_PROTOCOL) for unit in units
+        ]
         pool_size = min(self.workers, len(units))
         with _ProcessPool(max_workers=pool_size) as pool:
-            futures = [pool.submit(execute_unit, unit) for unit in units]
-            return [future.result() for future in futures]
+            futures = [pool.submit(_execute_unit_blob, blob) for blob in blobs]
+            results = [future.result() for future in futures]
+        for result, blob in zip(results, blobs):
+            result.bytes_shipped = len(blob)
+        return results
 
     def __repr__(self) -> str:
         return f"ParallelExecutor(workers={self.workers})"

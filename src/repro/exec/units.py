@@ -31,6 +31,11 @@ class UnitResult:
     unit_id: int
     decompositions: List[MatrixDecomposition]
     timings: Dict[str, float]
+    #: Serialized bytes the executor shipped to run this unit (0 for the
+    #: serial path; the pickled unit size for process-pool dispatch).  Set
+    #: by the executor after the unit returns, so old and new transports
+    #: are comparable in benchmarks.
+    bytes_shipped: int = 0
 
 
 def execute_unit(unit: WorkUnit) -> UnitResult:

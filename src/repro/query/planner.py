@@ -268,6 +268,43 @@ class BatchResult:
         ))
 
 
+def plan_batch(batch: Union[QueryBatch, Sequence[Query]]) -> QueryPlan:
+    """Group a batch by system key (first-appearance order, stable).
+
+    A pure function of the batch — no planner state is consulted — so the
+    sharded front-end plans with exactly the grouping the serial planner
+    would produce.  Every query lands in exactly one group or one direct
+    answer; the group count equals the number of distinct system matrices
+    among the non-shortcut queries.
+    """
+    if not isinstance(batch, QueryBatch):
+        batch = QueryBatch(batch)
+    order: List[SystemKey] = []
+    grouped: Dict[SystemKey, List[int]] = {}
+    direct: List[DirectAnswer] = []
+    for position, query in enumerate(batch):
+        spec = get_spec(query.measure)
+        if spec.shortcut is not None:
+            answer = spec.shortcut(query.snapshot, query.damping, query.param_dict)
+            if answer is not None:
+                direct.append(DirectAnswer(position, query, answer))
+                continue
+        key = system_key(query)
+        if key not in grouped:
+            grouped[key] = []
+            order.append(key)
+        grouped[key].append(position)
+    groups = tuple(
+        PlannedGroup(
+            key=key,
+            positions=tuple(grouped[key]),
+            queries=tuple(batch[p] for p in grouped[key]),
+        )
+        for key in order
+    )
+    return QueryPlan(batch=batch, groups=groups, direct=tuple(direct))
+
+
 class QueryPlanner:
     """Group queries by shared system matrix; factorize once per group.
 
@@ -595,32 +632,7 @@ class QueryPlanner:
         group count equals the number of distinct system matrices among the
         non-shortcut queries.
         """
-        if not isinstance(batch, QueryBatch):
-            batch = QueryBatch(batch)
-        order: List[SystemKey] = []
-        grouped: Dict[SystemKey, List[int]] = {}
-        direct: List[DirectAnswer] = []
-        for position, query in enumerate(batch):
-            spec = get_spec(query.measure)
-            if spec.shortcut is not None:
-                answer = spec.shortcut(query.snapshot, query.damping, query.param_dict)
-                if answer is not None:
-                    direct.append(DirectAnswer(position, query, answer))
-                    continue
-            key = system_key(query)
-            if key not in grouped:
-                grouped[key] = []
-                order.append(key)
-            grouped[key].append(position)
-        groups = tuple(
-            PlannedGroup(
-                key=key,
-                positions=tuple(grouped[key]),
-                queries=tuple(batch[p] for p in grouped[key]),
-            )
-            for key in order
-        )
-        return QueryPlan(batch=batch, groups=groups, direct=tuple(direct))
+        return plan_batch(batch)
 
     # ------------------------------------------------------------------ #
     # Execution

@@ -23,6 +23,8 @@ their per-index factors are reused exactly as stored.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import struct
 from typing import Callable, Dict, Hashable, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
@@ -338,6 +340,47 @@ class SystemKey:
     damping: float
     matrix_params: Tuple[Tuple[str, Hashable], ...] = ()
     matrix_builder: Optional[MatrixBuilder] = None
+
+    def digest(self) -> str:
+        """A stable 32-hex-digit content digest of this key.
+
+        Built from canonical byte encodings — sorted edge lists for
+        snapshot identities, the kind *name*, the raw IEEE-754 bytes of the
+        damping factor, ``repr`` of the canonical params tuple and the
+        builder's qualified name — never from Python ``hash()``, which is
+        salted per process.  Equal keys therefore digest identically across
+        interpreter restarts and across processes, which is what both the
+        :class:`~repro.store.factorstore.FactorStore` file naming and the
+        :mod:`repro.shard` worker routing rely on
+        (:func:`~repro.store.factorstore.system_key_digest` delegates here,
+        so store checkpoints written before this method existed keep their
+        names).
+        """
+        system = self.system
+        if isinstance(system, GraphSnapshot):
+            identity: object = (
+                "snapshot", system.n, system.directed, tuple(sorted(system.edges))
+            )
+        else:
+            identity = ("token", repr(system))
+        canonical = repr((
+            identity,
+            getattr(self.kind, "name", repr(self.kind)),
+            struct.pack("<d", self.damping).hex(),
+            repr(tuple(self.matrix_params)),
+            _builder_name(self.matrix_builder),
+        ))
+        return hashlib.blake2b(canonical.encode("utf-8"), digest_size=16).hexdigest()
+
+
+def _builder_name(builder: Optional[MatrixBuilder]) -> Optional[str]:
+    """The content-stable spelling of a custom matrix builder (or ``None``)."""
+    if builder is None:
+        return None
+    return "{}.{}".format(
+        getattr(builder, "__module__", "?"),
+        getattr(builder, "__qualname__", repr(builder)),
+    )
 
 
 def system_key(query: Query) -> SystemKey:

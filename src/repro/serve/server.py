@@ -157,6 +157,15 @@ class MeasureServer:
     history:
         How many recent per-request latency records to retain for
         :meth:`stats` percentiles.
+    shards:
+        ``shards=N`` (N > 1) serves from a
+        :class:`~repro.shard.planner.ShardedPlanner` the server constructs
+        and owns: admission windows fan out across ``N`` persistent worker
+        processes (factor ownership routed by content-stable key digest,
+        snapshots shipped once through shared memory) and updates broadcast
+        to every shard at batch boundaries in stream order.  Answers stay
+        bitwise identical to serial serving; :meth:`close` shuts the pool
+        down and unlinks every shared segment.
 
     Thread model: any number of client threads may submit; one daemon thread
     owns the planner, so the planner itself needs no locking.  Every
@@ -178,23 +187,48 @@ class MeasureServer:
         store: Optional[object] = None,
         register_lineage: bool = True,
         history: int = DEFAULT_HISTORY,
+        shards: int = 1,
     ) -> None:
         if max_batch < 1:
             raise MeasureError(f"max_batch must be positive, got {max_batch}")
         if max_wait_ms < 0:
             raise MeasureError(f"max_wait_ms must be non-negative, got {max_wait_ms}")
+        if shards < 1:
+            raise MeasureError(f"shards must be positive, got {shards}")
+        self._owns_planner = False
         if planner is not None:
             conflicting = (
                 executor is not None or cache is not None or auto_refresh
                 or policy is not None or result_cache is not None
-                or store is not None
+                or store is not None or shards != 1
             )
             if conflicting:
                 raise MeasureError(
                     "pass either a planner or planner-construction arguments "
-                    "(executor/cache/auto_refresh/policy/result_cache/store), "
-                    "not both"
+                    "(executor/cache/auto_refresh/policy/result_cache/store/"
+                    "shards), not both"
                 )
+        elif shards > 1:
+            # Sharded serving: admission windows fan out across a pool of
+            # persistent worker processes; updates broadcast to every shard
+            # at batch boundaries in stream order.  Each worker runs its own
+            # serial planner, so a per-batch executor has no role here.
+            if executor is not None or cache is not None:
+                raise MeasureError(
+                    "shards>1 replicates planner state per worker process — "
+                    "per-batch executor/cache instances cannot be shared; "
+                    "configure auto_refresh/policy/result_cache/store instead"
+                )
+            from repro.shard.planner import ShardedPlanner
+
+            planner = ShardedPlanner(
+                shards=shards,
+                auto_refresh=auto_refresh,
+                policy=policy,
+                result_cache=result_cache,
+                store=store,
+            )
+            self._owns_planner = True
         else:
             planner = QueryPlanner(
                 executor=executor,
@@ -356,7 +390,10 @@ class MeasureServer:
 
         ``drain=True`` (default) answers everything already enqueued before
         the serving thread exits; ``drain=False`` cancels pending futures
-        instead.  Idempotent; submissions after close raise.
+        instead.  Idempotent; submissions after close raise.  A sharded
+        planner the server constructed itself (``shards=N``) is shut down
+        too — its workers stop and every shared-memory segment is unlinked,
+        whether or not the queue was drained.
         """
         with self._wakeup:
             self._closed = True
@@ -367,6 +404,8 @@ class MeasureServer:
                         self._stats.cancelled += 1
             self._wakeup.notify_all()
         self._thread.join(timeout)
+        if self._owns_planner and not self._thread.is_alive():
+            self._planner.close()
 
     def __enter__(self) -> "MeasureServer":
         return self

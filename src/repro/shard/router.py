@@ -1,0 +1,93 @@
+"""Content-stable routing of system keys to owning shards.
+
+Routing must satisfy two properties:
+
+1. **Determinism across processes.**  Assignment derives from
+   ``blake2b`` digests of canonical byte encodings (the
+   :meth:`SystemKey.digest` discipline shared with the factor store),
+   never from salted ``hash()`` — the same key routes to the same shard
+   in every interpreter, under every ``PYTHONHASHSEED``.
+
+2. **Family colocation.**  The resolution ladder lets some tiers answer
+   one key from another key's cached factors.  Every pair of keys that
+   can *interact* through the ladder must live on the same shard, or a
+   shard would miss factors the serial planner would have found.  The
+   interaction closure depends on the key and the planner's policy:
+
+   - Keys with a custom ``matrix_builder`` or ``matrix_params``
+     (hitting-time families): only the refresh tier crosses systems,
+     and lineage replaces *only* ``key.system`` — so the family is
+     ``(kind, damping, params, builder)``.
+   - Exact policies: likewise only refresh crosses systems, preserving
+     kind and damping — family ``(kind, damping)``.
+   - Approximate policies (QC / corrected): verbatim reuse crosses
+     systems at fixed ``(kind, damping)`` and corrected reuse adds
+     same-system *cross-damping* sharing; transitively every damping of
+     a kind is connected — family ``(kind,)``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from typing import Dict, Optional
+
+from repro.query.spec import SystemKey, _builder_name
+
+_MEMO_LIMIT = 8192
+
+
+def routing_digest(key: SystemKey, *, policy_exact: bool = True) -> str:
+    """The 32-hex-digit digest of ``key``'s interaction family."""
+    kind = getattr(key.kind, "name", repr(key.kind))
+    if key.matrix_builder is not None or key.matrix_params:
+        family: object = (
+            "lineage",
+            kind,
+            _damping_hex(key.damping),
+            repr(tuple(key.matrix_params)),
+            _builder_name(key.matrix_builder),
+        )
+    elif not policy_exact:
+        family = ("kind", kind)
+    else:
+        family = ("kind-damping", kind, _damping_hex(key.damping))
+    return hashlib.blake2b(repr(family).encode("utf-8"), digest_size=16).hexdigest()
+
+
+def _damping_hex(damping: float) -> str:
+    return struct.pack("<d", damping).hex()
+
+
+class ShardRouter:
+    """Memoized ``SystemKey`` -> shard assignment for a fixed shard count."""
+
+    def __init__(self, shards: int, *, policy_exact: bool = True) -> None:
+        if shards < 1:
+            raise ValueError(f"shard count must be positive, got {shards}")
+        self._shards = int(shards)
+        self._policy_exact = bool(policy_exact)
+        self._memo: Dict[SystemKey, int] = {}
+
+    @property
+    def shards(self) -> int:
+        return self._shards
+
+    @property
+    def policy_exact(self) -> bool:
+        return self._policy_exact
+
+    def family_digest(self, key: SystemKey) -> str:
+        """The routing digest this router uses for ``key``."""
+        return routing_digest(key, policy_exact=self._policy_exact)
+
+    def shard_of(self, key: SystemKey) -> int:
+        """The shard that owns ``key``'s factor family."""
+        shard: Optional[int] = self._memo.get(key)
+        if shard is None:
+            digest = self.family_digest(key)
+            shard = int(digest[:16], 16) % self._shards
+            if len(self._memo) >= _MEMO_LIMIT:
+                self._memo.clear()
+            self._memo[key] = shard
+        return shard

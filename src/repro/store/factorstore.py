@@ -38,13 +38,10 @@ from __future__ import annotations
 
 import collections
 import dataclasses
-import hashlib
 import os
-import struct
 from typing import Dict, Optional, Tuple
 
 from repro.errors import PatternError, SingularMatrixError, StoreError, StoreFormatError
-from repro.graphs.snapshot import GraphSnapshot
 from repro.lu.bennett import bennett_update
 from repro.query.spec import FactorizedSystem, SystemKey
 from repro.sparse.types import Entries
@@ -97,34 +94,11 @@ class RefreshProvenance:
 def system_key_digest(key: SystemKey) -> str:
     """A stable 32-hex-digit content digest of a :class:`SystemKey`.
 
-    Built from canonical byte encodings (sorted edge lists, kind name, the
-    raw IEEE-754 bytes of the damping factor, ``repr`` of the canonical
-    params tuple) rather than Python ``hash()``, which is salted per
-    process and would break cross-restart file naming.
+    Delegates to :meth:`SystemKey.digest` (the recipe moved there so the
+    shard router shares it); the bytes are unchanged, so checkpoints
+    written by earlier versions keep their file names.
     """
-    system = key.system
-    if isinstance(system, GraphSnapshot):
-        identity: object = (
-            "snapshot", system.n, system.directed, tuple(sorted(system.edges))
-        )
-    else:
-        identity = ("token", repr(system))
-    builder = key.matrix_builder
-    if builder is None:
-        builder_name = None
-    else:
-        builder_name = "{}.{}".format(
-            getattr(builder, "__module__", "?"),
-            getattr(builder, "__qualname__", repr(builder)),
-        )
-    canonical = repr((
-        identity,
-        getattr(key.kind, "name", repr(key.kind)),
-        struct.pack("<d", key.damping).hex(),
-        repr(tuple(key.matrix_params)),
-        builder_name,
-    ))
-    return hashlib.blake2b(canonical.encode("utf-8"), digest_size=16).hexdigest()
+    return key.digest()
 
 
 class FactorStore:

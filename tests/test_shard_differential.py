@@ -1,0 +1,37 @@
+"""Sharded == serial differential across all six resolution tiers.
+
+Runs the full tier scenario sweep (``tests/shard_workload.py``) against a
+serial :class:`~repro.query.planner.QueryPlanner` and against
+:class:`~repro.shard.planner.ShardedPlanner` with 1, 2 and 4 shards, and
+requires the transcripts — answer byte digests, legacy stats counters,
+shape-stable per-tier resolution counts, approximation audit records
+(positions, similarity/loss bits, rank, mode, order), cache counters and
+checkpoint counts — to compare equal.
+
+Spawns several worker pools per shard count, so the module is ``slow``
+(run by the sharded-differential CI job with a timeout guard).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from shard_workload import run_workload, serial_factory, sharded_factory
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(scope="module")
+def serial_transcript(tmp_path_factory):
+    store_dir = tmp_path_factory.mktemp("serial_store")
+    return run_workload(serial_factory, str(store_dir))
+
+
+@pytest.mark.parametrize("shards", [1, 2, 4])
+def test_sharded_transcript_matches_serial(serial_transcript, shards, tmp_path):
+    sharded = run_workload(sharded_factory(shards), str(tmp_path / "store"))
+    assert sharded.keys() == serial_transcript.keys()
+    for scenario in serial_transcript:
+        assert sharded[scenario] == serial_transcript[scenario], (
+            f"shards={shards}: scenario {scenario!r} diverged from serial"
+        )

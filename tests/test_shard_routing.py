@@ -1,0 +1,156 @@
+"""Digest-routed shard assignment: content-stable, hash-seed independent."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.graphs.matrixkind import MatrixKind
+from repro.graphs.snapshot import GraphSnapshot
+from repro.query.spec import SystemKey, make_query, system_key
+from repro.shard.router import ShardRouter, routing_digest
+from repro.store.factorstore import system_key_digest
+
+
+def _snapshot(seed: int = 0) -> GraphSnapshot:
+    edges = [(i, (i + 1 + seed) % 8) for i in range(8)] + [(0, 5)]
+    return GraphSnapshot(8, edges)
+
+
+# --------------------------------------------------------------------- #
+# SystemKey.digest: the factor store and the router share one recipe
+# --------------------------------------------------------------------- #
+def test_digest_matches_factorstore_digest():
+    for query in (
+        make_query("rwr", _snapshot(), start_node=2),
+        make_query("hitting_time", _snapshot(), target=3),
+        make_query("pagerank", _snapshot(1), damping=0.7),
+    ):
+        key = system_key(query)
+        assert key.digest() == system_key_digest(key)
+        assert len(key.digest()) == 32
+        assert key.digest() == key.digest()
+
+
+def test_digest_is_content_based_not_identity_based():
+    a = system_key(make_query("rwr", _snapshot(), start_node=2))
+    b = system_key(make_query("ppr", _snapshot(), seeds=(0, 1)))  # same matrix
+    assert a.digest() == b.digest()
+    c = system_key(make_query("rwr", _snapshot(1), start_node=2))
+    assert a.digest() != c.digest()
+    d = system_key(make_query("rwr", _snapshot(), start_node=2, damping=0.5))
+    assert a.digest() != d.digest()
+
+
+def test_token_keys_digest_stably():
+    key = SystemKey(system=("ems", 7), kind=MatrixKind.RANDOM_WALK, damping=0.85)
+    assert key.digest() == key.digest()
+    other = SystemKey(system=("ems", 8), kind=MatrixKind.RANDOM_WALK, damping=0.85)
+    assert key.digest() != other.digest()
+
+
+# --------------------------------------------------------------------- #
+# Family colocation: keys the ladder can connect land on one shard
+# --------------------------------------------------------------------- #
+def test_lineage_family_colocates_across_snapshots():
+    router = ShardRouter(4)
+    same_target = [
+        system_key(make_query("hitting_time", _snapshot(seed), target=3))
+        for seed in range(4)
+    ]
+    shards = {router.shard_of(key) for key in same_target}
+    assert len(shards) == 1, "refresh lineage split across shards"
+    other_target = system_key(make_query("hitting_time", _snapshot(), target=5))
+    assert routing_digest(other_target) != routing_digest(same_target[0])
+
+
+def test_exact_family_is_kind_and_damping():
+    a = system_key(make_query("rwr", _snapshot(0), start_node=1))
+    b = system_key(make_query("pagerank", _snapshot(3)))
+    assert routing_digest(a) == routing_digest(b)
+    c = system_key(make_query("pagerank", _snapshot(3), damping=0.5))
+    assert routing_digest(a) != routing_digest(c)
+    d = system_key(make_query("salsa_authority", _snapshot(0)))
+    assert routing_digest(a) != routing_digest(d)
+
+
+def test_approximate_family_drops_damping():
+    a = system_key(make_query("rwr", _snapshot(0), start_node=1))
+    c = system_key(make_query("pagerank", _snapshot(3), damping=0.5))
+    assert routing_digest(a, policy_exact=False) == routing_digest(c, policy_exact=False)
+    d = system_key(make_query("salsa_hub", _snapshot(0)))
+    assert routing_digest(a, policy_exact=False) != routing_digest(d, policy_exact=False)
+
+
+def test_router_validates_and_memoizes():
+    with pytest.raises(ValueError):
+        ShardRouter(0)
+    router = ShardRouter(3, policy_exact=False)
+    key = system_key(make_query("rwr", _snapshot(), start_node=0))
+    assert router.shard_of(key) == router.shard_of(key)
+    assert 0 <= router.shard_of(key) < 3
+    assert router.shards == 3
+    assert router.policy_exact is False
+
+
+def test_single_shard_router_maps_everything_to_zero():
+    router = ShardRouter(1)
+    for seed in range(5):
+        key = system_key(make_query("pagerank", _snapshot(seed)))
+        assert router.shard_of(key) == 0
+
+
+# --------------------------------------------------------------------- #
+# Interpreter-restart stability: never salted hash()
+# --------------------------------------------------------------------- #
+_PROBE = """\
+import sys
+
+sys.path.insert(0, {src!r})
+sys.path.insert(0, {tests!r})
+
+from test_shard_routing import _snapshot
+from repro.query.spec import make_query, system_key
+from repro.shard.router import ShardRouter
+
+router = ShardRouter(4)
+keys = [
+    system_key(make_query("rwr", _snapshot(), start_node=2)),
+    system_key(make_query("hitting_time", _snapshot(1), target=3)),
+    system_key(make_query("pagerank", _snapshot(2), damping=0.7)),
+    system_key(make_query("salsa_hub", _snapshot(3))),
+]
+print(";".join(f"{{k.digest()}}:{{router.shard_of(k)}}" for k in keys))
+"""
+
+
+@pytest.mark.slow
+def test_routing_survives_interpreter_restarts_under_varied_hash_seeds():
+    """Digests and shard assignments agree across PYTHONHASHSEED values.
+
+    Salted ``hash()`` differs between interpreters unless PYTHONHASHSEED is
+    pinned; anything derived from it would route the same key to different
+    shards on restart and orphan persisted factors.  Three interpreters with
+    adversarially different seeds must print identical assignments.
+    """
+    here = os.path.dirname(os.path.abspath(__file__))
+    src = os.path.abspath(os.path.join(here, "..", "src"))
+    probe = _PROBE.format(src=src, tests=here)
+    outputs = []
+    for hash_seed in ("0", "1", "4294967295"):
+        env = dict(os.environ, PYTHONHASHSEED=hash_seed)
+        env.pop("PYTHONPATH", None)
+        result = subprocess.run(
+            [sys.executable, "-c", probe],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert result.returncode == 0, result.stderr
+        outputs.append(result.stdout.strip())
+    assert outputs[0]
+    assert len(set(outputs)) == 1, f"routing varies with hash seed: {outputs}"
